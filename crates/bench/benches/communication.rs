@@ -1,0 +1,39 @@
+//! End-to-end DMW protocol runs over the simulated network (the workload
+//! behind the Table 1 communication experiment), swept over `n` and `m`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmw::config::DmwConfig;
+use dmw::runner::DmwRunner;
+use rand::SeedableRng;
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmw-protocol");
+    for &(n, m) in &[(4usize, 1usize), (8, 1), (8, 4), (16, 2)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + (n * 100 + m) as u64);
+        let config = DmwConfig::generate(n, 1, &mut rng).unwrap();
+        let bids =
+            dmw_mechanism::generators::uniform(n, m, 1..=config.encoding().w_max(), &mut rng)
+                .unwrap();
+        let runner = DmwRunner::new(config);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(
+            BenchmarkId::new("honest_run", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, _| {
+                b.iter(|| {
+                    let run = runner.run_honest(&bids, &mut rng).unwrap();
+                    assert!(run.is_completed());
+                    run.network.point_to_point
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocol_runs
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Transport-free auction computation (the blackboard reference), swept
+//! over `n` and the modulus size — the wall-clock counterpart of the
+//! Table 1 computational-cost experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmw_crypto::blackboard::honest_auction;
+use dmw_crypto::BidEncoding;
+use dmw_modmath::SchnorrGroup;
+use rand::SeedableRng;
+
+fn bench_blackboard_auction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blackboard-auction");
+    // Sweep n at fixed modulus size.
+    for n in [4usize, 8, 12] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2000 + n as u64);
+        let schnorr = SchnorrGroup::generate(48, 24, &mut rng).unwrap();
+        let encoding = BidEncoding::new(n, 1).unwrap();
+        let bids: Vec<u64> = (0..n).map(|i| 1 + (i as u64 % encoding.w_max())).collect();
+        group.bench_with_input(BenchmarkId::new("by_n", n), &n, |b, _| {
+            b.iter(|| honest_auction(&schnorr, &encoding, &bids, &mut rng).unwrap())
+        });
+    }
+    // Sweep modulus size at fixed n.
+    for p_bits in [32u32, 48, 62] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3000 + p_bits as u64);
+        let schnorr = SchnorrGroup::generate(p_bits, 20, &mut rng).unwrap();
+        let encoding = BidEncoding::new(6, 1).unwrap();
+        let bids = [2u64, 1, 3, 4, 2, 1];
+        group.bench_with_input(BenchmarkId::new("by_p_bits", p_bits), &p_bits, |b, _| {
+            b.iter(|| honest_auction(&schnorr, &encoding, &bids, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_blackboard_auction
+}
+criterion_main!(benches);

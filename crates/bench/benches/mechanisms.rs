@@ -1,0 +1,45 @@
+//! Centralized mechanism benchmarks: MinWork against the exact and greedy
+//! makespan baselines (the comparison row of Table 1 and the APPROX
+//! experiment's solvers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmw_mechanism::optimal::{greedy_makespan, optimal_makespan};
+use dmw_mechanism::MinWork;
+use rand::SeedableRng;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized");
+    for &(n, m) in &[(8usize, 16usize), (32, 64), (64, 256)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4000 + (n + m) as u64);
+        let bids = dmw_mechanism::generators::uniform(n, m, 1..=100, &mut rng).unwrap();
+        let mechanism = MinWork::default();
+        group.bench_with_input(
+            BenchmarkId::new("minwork", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| mechanism.run(&bids).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_makespan", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| greedy_makespan(&bids).unwrap()),
+        );
+    }
+    // The exact solver only at toy sizes.
+    for &(n, m) in &[(3usize, 6usize), (4, 6)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5000 + (n + m) as u64);
+        let bids = dmw_mechanism::generators::uniform(n, m, 1..=20, &mut rng).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("optimal_makespan", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, _| b.iter(|| optimal_makespan(&bids).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mechanisms
+}
+criterion_main!(benches);

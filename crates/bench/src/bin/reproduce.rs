@@ -1,0 +1,88 @@
+//! `reproduce` — regenerates every table and figure of the DMW paper.
+//!
+//! ```text
+//! cargo run --release -p dmw-bench --bin reproduce -- all
+//! cargo run --release -p dmw-bench --bin reproduce -- table1-comm
+//! ```
+//!
+//! Subcommands: `table1-comm`, `table1-comp`, `fig2-trace`,
+//! `truthfulness`, `faithfulness`, `voluntary`, `privacy`, `approx`,
+//! `equivalence`, `false-positive`, `ablation-c`, `ablation-quantize`,
+//! `all`. An optional `--seed <u64>` changes the experiment seed.
+
+use dmw_bench::experiments;
+use dmw_bench::table::Report;
+
+/// An experiment entry: CLI name plus the seeded runner producing its
+/// report.
+type Experiment = (&'static str, fn(u64) -> Report);
+
+const EXPERIMENTS: &[Experiment] = &[
+    ("table1-comm", experiments::comm::run),
+    ("table1-comp", experiments::comp::run),
+    ("fig2-trace", experiments::fig2::run),
+    ("truthfulness", experiments::truthfulness::run),
+    ("faithfulness", experiments::faithfulness::run),
+    ("voluntary", experiments::voluntary::run),
+    ("privacy", experiments::privacy::run),
+    ("approx", experiments::approx::run),
+    ("equivalence", experiments::equivalence::run),
+    ("false-positive", experiments::false_positive::run),
+    ("ablation-c", experiments::ablation_c::run),
+    ("ablation-quantize", experiments::ablation_quantize::run),
+    ("ablation-batch", experiments::ablation_batch::run),
+    ("vcg", experiments::extensions::vcg),
+    ("randomized-two", experiments::extensions::randomized_two),
+    (
+        "related-machines",
+        experiments::extensions::related_machines,
+    ),
+    ("obedient", experiments::extensions::obedient),
+    ("repeated", experiments::extensions::repeated),
+    ("bid-rigging", experiments::extensions::bid_rigging),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: reproduce <experiment|all> [--seed <u64>]");
+    eprintln!("experiments:");
+    for (name, _) in EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20050717u64; // PODC 2005
+    let mut command: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = it.next().unwrap_or_else(|| usage());
+                seed = value.parse().unwrap_or_else(|_| usage());
+            }
+            "-h" | "--help" => usage(),
+            name if command.is_none() => command = Some(name.to_string()),
+            _ => usage(),
+        }
+    }
+    let command = command.unwrap_or_else(|| usage());
+
+    let selected: Vec<&Experiment> = if command == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        match EXPERIMENTS.iter().find(|(name, _)| *name == command) {
+            Some(e) => vec![e],
+            None => usage(),
+        }
+    };
+
+    for (name, runner) in selected {
+        eprintln!("running {name} (seed {seed}) ...");
+        let started = std::time::Instant::now();
+        let report = runner(seed);
+        println!("{}", report.render());
+        eprintln!("{name} finished in {:.1}s", started.elapsed().as_secs_f64());
+    }
+}

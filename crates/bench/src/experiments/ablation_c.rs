@@ -1,0 +1,101 @@
+//! ABL-c — the fault-threshold trade-off (Open Problem 11).
+//!
+//! Raising `c` buys crash tolerance but (a) shrinks the bid set
+//! (`|W| = n − c − 1`), coarsening prices, and (b) grows the disclosure
+//! and verification work. The completion matrix shows the exact
+//! computability envelope: runs complete with up to `c` crashes and abort
+//! beyond.
+
+use super::{config, random_bids, rng};
+use crate::table::Report;
+use dmw::runner::DmwRunner;
+use dmw::Behavior;
+use dmw_simnet::{FaultPlan, NodeId};
+
+/// Runs one (c, crashes) cell; returns (completed, messages).
+pub fn cell(n: usize, c: usize, crashes: usize, m: usize, seed: u64) -> (bool, u64) {
+    let mut r = rng(seed);
+    let cfg = config(n, c, &mut r);
+    let bids = random_bids(&cfg, m, &mut r);
+    let mut plan = FaultPlan::none(n);
+    for i in 0..crashes {
+        plan = plan.crash_at(NodeId(n - 1 - i), 0);
+    }
+    let run = DmwRunner::new(cfg)
+        .run(&bids, &vec![Behavior::Suggested; n], plan, &mut r)
+        .expect("valid run");
+    (run.is_completed(), run.network.point_to_point)
+}
+
+/// Builds the fault-threshold ablation report.
+pub fn run(seed: u64) -> Report {
+    let n = 9usize;
+    let m = 2usize;
+    let mut report = Report::new("Ablation — fault threshold c (Open Problem 11 envelope)");
+    report.note(format!(
+        "n = {n}, m = {m}; k agents crash at round 0. \
+         The protocol must complete for k ≤ c and abort for k > c."
+    ));
+
+    let mut rows = Vec::new();
+    for c in 0..=3usize {
+        let mut cells = Vec::new();
+        for k in 0..=4usize {
+            let (completed, _) = cell(n, c, k, m, seed + (c * 10 + k) as u64);
+            cells.push(if completed { "ok" } else { "abort" }.to_string());
+        }
+        let w_size = n - c - 1;
+        rows.push(vec![
+            c.to_string(),
+            w_size.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            cells[3].clone(),
+            cells[4].clone(),
+        ]);
+    }
+    report.table(
+        "completion matrix (crashes at round 0)",
+        &["c", "|W|", "k=0", "k=1", "k=2", "k=3", "k=4"],
+        rows,
+    );
+
+    // Cost of the threshold: messages on fault-free runs as c grows.
+    let mut rows = Vec::new();
+    for c in 0..=3usize {
+        let (completed, msgs) = cell(n, c, 0, m, seed + 100 + c as u64);
+        assert!(completed);
+        rows.push(vec![
+            c.to_string(),
+            (n - c - 1).to_string(),
+            msgs.to_string(),
+        ]);
+    }
+    report.table(
+        "fault-free cost vs c (disclosure spares grow, bid set shrinks)",
+        &["c", "|W|", "messages"],
+        rows,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn envelope_is_exact() {
+        let report = super::run(91);
+        let (_, _, rows) = &report.tables[0];
+        for row in rows {
+            let c: usize = row[0].parse().unwrap();
+            for k in 0..=4usize {
+                let cell = &row[2 + k];
+                if k <= c {
+                    assert_eq!(cell, "ok", "c={c}, k={k} should complete");
+                } else {
+                    assert_eq!(cell, "abort", "c={c}, k={k} should abort");
+                }
+            }
+        }
+    }
+}

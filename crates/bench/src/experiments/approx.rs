@@ -1,0 +1,121 @@
+//! APPROX — "MinWork … is a n-approximation to the scheduling on
+//! unrelated machines problem" (§1.1, citing Nisan & Ronen).
+//!
+//! Two measurements:
+//! * random instances, exact optimum by branch-and-bound — the *typical*
+//!   makespan ratio is small;
+//! * the adversarial instance family — the ratio approaches `n` exactly,
+//!   showing the bound is tight.
+
+use super::rng;
+use crate::table::Report;
+use dmw_mechanism::generators::{adversarial_makespan, uniform};
+use dmw_mechanism::objectives::{optimal_sum_completion_times, sum_completion_times};
+use dmw_mechanism::optimal::optimal_makespan;
+use dmw_mechanism::MinWork;
+
+/// Builds the approximation-ratio report.
+pub fn run(seed: u64) -> Report {
+    let mut r = rng(seed);
+    let mechanism = MinWork::default();
+    let mut report = Report::new("n-approximation of the makespan (MinWork vs exact optimum)");
+    report.note("MinWork minimizes total work; its makespan is at most n times the optimum, and the adversarial family shows the factor is tight.");
+
+    // Random instances.
+    let mut rows = Vec::new();
+    for &(n, m, trials) in &[(3usize, 4usize, 60u32), (4, 4, 60), (5, 5, 40)] {
+        let mut worst: f64 = 0.0;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let t = uniform(n, m, 1..=20, &mut r).expect("valid shape");
+            let mw = mechanism.run(&t).expect("valid matrix");
+            let got = mw.schedule.makespan(&t).expect("same shape") as f64;
+            let opt = optimal_makespan(&t).expect("small instance").makespan as f64;
+            let ratio = got / opt;
+            worst = worst.max(ratio);
+            sum += ratio;
+        }
+        rows.push(vec![
+            format!("{n}x{m}"),
+            trials.to_string(),
+            format!("{:.2}", sum / trials as f64),
+            format!("{worst:.2}"),
+            n.to_string(),
+        ]);
+    }
+    report.table(
+        "random instances (uniform times 1..=20)",
+        &["shape", "trials", "mean ratio", "worst ratio", "bound n"],
+        rows,
+    );
+
+    // Adversarial family: ratio -> n.
+    let mut rows = Vec::new();
+    for &n in &[2usize, 3, 4, 5, 6, 8] {
+        let t = adversarial_makespan(n, 100).expect("valid family");
+        let mw = mechanism.run(&t).expect("valid matrix");
+        let got = mw.schedule.makespan(&t).expect("same shape") as f64;
+        let opt = optimal_makespan(&t).expect("small instance").makespan as f64;
+        rows.push(vec![
+            n.to_string(),
+            format!("{got}"),
+            format!("{opt}"),
+            format!("{:.3}", got / opt),
+        ]);
+    }
+    report.table(
+        "adversarial family (all tasks marginally cheapest on one machine)",
+        &[
+            "n = m",
+            "MinWork makespan",
+            "optimal makespan",
+            "ratio (→ n)",
+        ],
+        rows,
+    );
+
+    // The other objective Definition 2 names: sum of completion times —
+    // polynomially solvable exactly (min-cost matching), so the gap is
+    // measured against the true optimum at larger sizes.
+    let mut rows = Vec::new();
+    for &(n, m, trials) in &[(4usize, 6usize, 40u32), (6, 10, 30)] {
+        let mut sum_ratio = 0.0;
+        let mut worst: f64 = 0.0;
+        for _ in 0..trials {
+            let t = uniform(n, m, 1..=20, &mut r).expect("valid shape");
+            let mw = mechanism.run(&t).expect("valid matrix");
+            let got = sum_completion_times(&mw.schedule, &t).expect("same shape") as f64;
+            let (_, opt) = optimal_sum_completion_times(&t).expect("valid shape");
+            let ratio = got / opt as f64;
+            sum_ratio += ratio;
+            worst = worst.max(ratio);
+        }
+        rows.push(vec![
+            format!("{n}x{m}"),
+            trials.to_string(),
+            format!("{:.2}", sum_ratio / trials as f64),
+            format!("{worst:.2}"),
+        ]);
+    }
+    report.table(
+        "sum of completion times: MinWork vs the exact (Hungarian) optimum",
+        &["shape", "trials", "mean ratio", "worst ratio"],
+        rows,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adversarial_ratios_approach_n() {
+        let report = super::run(61);
+        let (_, _, rows) = &report.tables[1];
+        for row in rows {
+            let n: f64 = row[0].parse().unwrap();
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio > 0.9 * n, "ratio {ratio} far below n = {n}");
+            assert!(ratio <= n + 1e-9, "ratio cannot exceed n");
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Extension experiments: the mechanisms the paper cites or names as
+//! future work, measured against DMW/MinWork.
+//!
+//! * [`vcg`] — MinWork *is* VCG for the total-work objective (§1.1), and
+//!   VCG on a restricted outcome space stops decomposing into Vickrey
+//!   auctions;
+//! * [`randomized_two`] — Nisan–Ronen's randomized biased mechanism for
+//!   two machines: expected makespan ratio ≤ 7/4 vs MinWork's factor-2;
+//! * [`related_machines`] — the Archer–Tardos one-parameter framework
+//!   (the paper's §5 future work): monotone work curves, threshold
+//!   payments, truthfulness;
+//! * [`obedient`] — the Open Problem 10 strawman: leader-based
+//!   distribution of MinWork is `Θ(mn)` cheap but blindly trusts (and is
+//!   silently robbed by) the leader;
+//! * [`repeated`] — the Remark under Theorem 10: replaying the same
+//!   instance, an agent armed with the leaked first/second prices still
+//!   cannot beat truth-telling.
+
+use super::{config, random_bids, rng};
+use crate::table::Report;
+use dmw::obedient::{run_obedient, LeaderBehavior};
+use dmw::repeated::repeated_execution;
+use dmw::runner::DmwRunner;
+use dmw_mechanism::optimal::optimal_makespan;
+use dmw_mechanism::randomized::{run_with_coins, Coins};
+use dmw_mechanism::related::{archer_tardos_payment, FastestTakesAll, ProportionalShare, WorkRule};
+use dmw_mechanism::vcg::{OutcomeSpace, Vcg};
+use dmw_mechanism::{AgentId, MinWork, TieBreak};
+
+/// VCG vs MinWork: equivalence on the unrestricted space, divergence on a
+/// balanced space.
+pub fn vcg(seed: u64) -> Report {
+    let mut r = rng(seed);
+    let mut report = Report::new("VCG and MinWork (§1.1 lineage)");
+    report.note("On the unrestricted outcome space, VCG with the total-work objective decomposes into per-task Vickrey auctions — it *is* MinWork.");
+
+    let trials = 25u32;
+    let mut identical = 0u32;
+    for _ in 0..trials {
+        let bids = dmw_mechanism::generators::uniform(4, 3, 1..=12, &mut r).expect("shape");
+        let vcg = Vcg::default().run(&bids).expect("small instance");
+        let mw = MinWork::new(TieBreak::LowestIndex)
+            .run(&bids)
+            .expect("matrix");
+        if vcg.schedule == mw.schedule && vcg.payments == mw.payments {
+            identical += 1;
+        }
+    }
+    report.table(
+        "unrestricted space",
+        &["trials", "identical schedule + payments"],
+        vec![vec![trials.to_string(), format!("{identical}/{trials}")]],
+    );
+
+    // Restricted space: payments deviate from second prices.
+    let bids = dmw_mechanism::ExecutionTimes::from_rows(vec![vec![1, 1], vec![5, 5], vec![9, 9]])
+        .expect("shape");
+    let unrestricted = Vcg::default().run(&bids).expect("small instance");
+    let balanced = Vcg::new(OutcomeSpace::Balanced { limit: 1 })
+        .run(&bids)
+        .expect("instance");
+    report.table(
+        "restricted (≤1 task per agent) vs unrestricted on a 3×2 instance",
+        &["space", "makespan", "total payments"],
+        vec![
+            vec![
+                "unrestricted (= MinWork)".into(),
+                unrestricted
+                    .schedule
+                    .makespan(&bids)
+                    .expect("shape")
+                    .to_string(),
+                unrestricted.payments.iter().sum::<u64>().to_string(),
+            ],
+            vec![
+                "balanced".into(),
+                balanced
+                    .schedule
+                    .makespan(&bids)
+                    .expect("shape")
+                    .to_string(),
+                balanced.payments.iter().sum::<u64>().to_string(),
+            ],
+        ],
+    );
+    report.note("The balanced space buys a better makespan at higher Clarke payments — truthfulness is kept by the pivot rule, not by per-task decomposition.".to_string());
+    report
+}
+
+/// The randomized two-machine mechanism vs MinWork: expected makespan.
+pub fn randomized_two(seed: u64) -> Report {
+    let mut r = rng(seed);
+    let mut report = Report::new("Randomized 7/4 mechanism for two machines (§1.1)");
+    report.note("Expected makespan over all coin outcomes (exhaustive), ratio to the exact optimum; MinWork is deterministic and 2-approximate on two machines.");
+    let trials = 60u32;
+    let m = 4usize;
+    let mut worst_rand: f64 = 0.0;
+    let mut worst_mw: f64 = 0.0;
+    let (mut sum_rand, mut sum_mw) = (0.0f64, 0.0f64);
+    for _ in 0..trials {
+        let bids = dmw_mechanism::generators::uniform(2, m, 1..=30, &mut r).expect("shape");
+        let opt = optimal_makespan(&bids).expect("small").makespan as f64;
+        let mut expected = 0.0;
+        for mask in 0..(1u32 << m) {
+            let coins = Coins {
+                favoured: (0..m)
+                    .map(|j| AgentId(((mask >> j) & 1) as usize))
+                    .collect(),
+            };
+            let outcome = run_with_coins(&bids, &coins).expect("two machines");
+            expected += outcome.schedule.makespan(&bids).expect("shape") as f64;
+        }
+        expected /= (1u32 << m) as f64;
+        let mw = MinWork::default().run(&bids).expect("matrix");
+        let mw_ratio = mw.schedule.makespan(&bids).expect("shape") as f64 / opt;
+        let rand_ratio = expected / opt;
+        worst_rand = worst_rand.max(rand_ratio);
+        worst_mw = worst_mw.max(mw_ratio);
+        sum_rand += rand_ratio;
+        sum_mw += mw_ratio;
+    }
+    report.table(
+        format!("{trials} random 2×{m} instances"),
+        &["mechanism", "mean makespan ratio", "worst ratio", "bound"],
+        vec![
+            vec![
+                "randomized biased (β = 4/3)".into(),
+                format!("{:.3}", sum_rand / trials as f64),
+                format!("{worst_rand:.3}"),
+                "7/4 = 1.75 (expected)".into(),
+            ],
+            vec![
+                "MinWork".into(),
+                format!("{:.3}", sum_mw / trials as f64),
+                format!("{worst_mw:.3}"),
+                "2 (deterministic lower bound)".into(),
+            ],
+        ],
+    );
+    report
+}
+
+/// Archer–Tardos one-parameter mechanisms for related machines (§5
+/// future work).
+pub fn related_machines(seed: u64) -> Report {
+    let _ = seed;
+    let mut report = Report::new("Related machines — one-parameter mechanisms (§5 future work)");
+    report.note("Archer–Tardos: monotone work curve + payment c·w(c) + ∫ w. Two rules over costs {1, 2, 4} and W = 100 units of work.");
+    let costs = [1.0f64, 2.0, 4.0];
+    let total_work = 100.0;
+    let (c_max, steps) = (200.0, 20_000);
+    let mut rows = Vec::new();
+    for (name, rule) in [
+        ("fastest-takes-all", &FastestTakesAll as &dyn WorkRule),
+        ("proportional-share", &ProportionalShare as &dyn WorkRule),
+    ] {
+        for (i, &c) in costs.iter().enumerate() {
+            let w = rule.work(i, &costs, total_work);
+            let p = archer_tardos_payment_dyn(rule, i, &costs, total_work, c_max, steps);
+            rows.push(vec![
+                name.to_string(),
+                format!("machine {} (c = {c})", i + 1),
+                format!("{w:.1}"),
+                format!("{p:.1}"),
+                format!("{:.1}", p - c * w),
+            ]);
+        }
+    }
+    report.table(
+        "work, payment and truthful profit per machine",
+        &["rule", "machine", "work", "payment", "profit"],
+        rows,
+    );
+    report.note("fastest-takes-all degenerates to a Vickrey threshold (payment = second-lowest cost × W); proportional-share achieves the fractional-optimal makespan with every machine profiting — the centralized reference a distributed version must be faithful to.".to_string());
+    report
+}
+
+fn archer_tardos_payment_dyn(
+    rule: &dyn WorkRule,
+    agent: usize,
+    costs: &[f64],
+    total_work: f64,
+    c_max: f64,
+    steps: usize,
+) -> f64 {
+    struct Dyn<'a>(&'a dyn WorkRule);
+    impl WorkRule for Dyn<'_> {
+        fn work(&self, agent: usize, costs: &[f64], total_work: f64) -> f64 {
+            self.0.work(agent, costs, total_work)
+        }
+    }
+    archer_tardos_payment(&Dyn(rule), agent, costs, total_work, c_max, steps).expect("valid inputs")
+}
+
+/// The obedient-leader strawman vs DMW (Open Problem 10).
+pub fn obedient(seed: u64) -> Report {
+    let mut r = rng(seed);
+    let mut report = Report::new("Open Problem 10 — obedient-leader distribution vs DMW");
+    report.note("The leader collects plaintext bids and broadcasts the outcome: Θ(mn) traffic, zero privacy, unverifiable trust.");
+
+    let mut rows = Vec::new();
+    for &(n, m) in &[(4usize, 2usize), (8, 4), (16, 4)] {
+        let cfg = config(n, 1, &mut r);
+        let bids = random_bids(&cfg, m, &mut r);
+        let obedient = run_obedient(&bids, LeaderBehavior::Honest).expect("valid run");
+        let dmw_run = DmwRunner::new(cfg)
+            .run_honest(&bids, &mut r)
+            .expect("valid run");
+        assert!(dmw_run.is_completed());
+        rows.push(vec![
+            n.to_string(),
+            m.to_string(),
+            obedient.network.point_to_point.to_string(),
+            dmw_run.network.point_to_point.to_string(),
+            format!(
+                "{:.1}",
+                dmw_run.network.point_to_point as f64 / obedient.network.point_to_point as f64
+            ),
+        ]);
+    }
+    report.table(
+        "traffic: obedient leader vs DMW",
+        &["n", "m", "obedient msgs", "DMW msgs", "DMW / obedient"],
+        rows,
+    );
+
+    // The trust failure.
+    let cfg = config(6, 1, &mut r);
+    let bids = random_bids(&cfg, 3, &mut r);
+    let robbed = run_obedient(&bids, LeaderBehavior::SelfDealing).expect("valid run");
+    report.table(
+        "self-dealing leader (undetectable by the agents)",
+        &[
+            "published outcome honest?",
+            "tasks taken by leader",
+            "leader's self-payment",
+        ],
+        vec![vec![
+            robbed.honest_outcome.to_string(),
+            robbed
+                .outcome
+                .schedule
+                .tasks_of(AgentId(0))
+                .len()
+                .to_string(),
+            robbed.outcome.payments[0].to_string(),
+        ]],
+    );
+    report.note("DMW pays the factor-n traffic premium precisely to make this theft impossible: every published value is bound to the committed bids by equations (7)–(15).".to_string());
+    report
+}
+
+/// Repeated executions and the first/second-price leak (Theorem 10
+/// Remark).
+pub fn repeated(seed: u64) -> Report {
+    let mut r = rng(seed);
+    let mut report =
+        Report::new("Repeated executions — exploiting the revealed prices (Theorem 10, Remark)");
+    report.note("Round one runs honestly and leaks (y*, y**) per task; round two replays the same instance with one agent playing informed price-targeting strategies.");
+
+    let instances = 12u32;
+    // strategy -> (worst advantage, count informed > truthful)
+    let mut agg: Vec<(&'static str, i128, u32)> = Vec::new();
+    for _ in 0..instances {
+        let cfg = config(6, 1, &mut r);
+        let truth = random_bids(&cfg, 2, &mut r);
+        let rows = repeated_execution(&cfg, &truth, AgentId(2), &mut r).expect("valid run");
+        for row in rows {
+            let adv = row.informed_utility - row.truthful_utility;
+            match agg.iter_mut().find(|(l, ..)| *l == row.strategy) {
+                Some((_, worst, wins)) => {
+                    *worst = (*worst).max(adv);
+                    *wins += u32::from(adv > 0);
+                }
+                None => agg.push((row.strategy, adv, u32::from(adv > 0))),
+            }
+        }
+    }
+    let rows: Vec<Vec<String>> = agg
+        .iter()
+        .map(|(label, worst, wins)| {
+            vec![
+                label.to_string(),
+                format!("{wins}/{instances}"),
+                worst.to_string(),
+            ]
+        })
+        .collect();
+    report.table(
+        "informed strategies vs truth-telling",
+        &["strategy", "rounds it profited", "max advantage"],
+        rows,
+    );
+    report.note("Per-round truthfulness makes the leak worthless — the mitigation the Remark claims, measured.".to_string());
+    report
+}
+
+/// Bid-rigging rings: where truthfulness stops.
+///
+/// Faithfulness (Theorem 5) and truthfulness (Theorem 2) are *unilateral*
+/// guarantees. A coordinated ring can still profit with the classic
+/// Vickrey-ring strategy: on every task, only the ring's internally
+/// cheapest member bids its true value; the others inflate to `w_max`.
+/// Whenever the ring holds both the lowest and the second-lowest true
+/// bids on a task, the payment rises to the best *outside* bid — pure
+/// ring profit. DMW inherits this untouched; this experiment measures the
+/// gain as the ring grows, an honest limitation the paper does not
+/// discuss.
+pub fn bid_rigging(seed: u64) -> Report {
+    let mut r = rng(seed);
+    let n = 8usize;
+    let m = 3usize;
+    let instances = 15u32;
+    let mut report = Report::new("Bid-rigging rings — the limit of unilateral truthfulness");
+    report.note(format!(
+        "{instances} random instances, n = {n}, m = {m}. Per task, the ring's cheapest member \
+         bids truthfully; other members inflate to w_max (the classic Vickrey ring)."
+    ));
+
+    let mut rows = Vec::new();
+    for ring_size in [1usize, 2, 3, 4, 5] {
+        let mut total_gain = 0i128;
+        let mut profited = 0u32;
+        for _ in 0..instances {
+            let cfg = config(n, 1, &mut r);
+            let w_max = cfg.encoding().w_max();
+            let truth = random_bids(&cfg, m, &mut r);
+            let runner = DmwRunner::new(cfg);
+            let honest = runner.run_honest(&truth, &mut r).expect("valid run");
+            let honest_ring: i128 = (0..ring_size)
+                .map(|i| dmw::runner::utilities(&honest, &truth)[i])
+                .sum();
+            // Per task, every ring member except the ring's cheapest
+            // inflates its bid.
+            let mut rigged = truth.clone();
+            for j in 0..m {
+                let best = (0..ring_size)
+                    .min_by_key(|&i| truth.time(AgentId(i), dmw_mechanism::TaskId(j)))
+                    .expect("non-empty ring");
+                for member in 0..ring_size {
+                    if member != best {
+                        rigged.set_time(AgentId(member), dmw_mechanism::TaskId(j), w_max);
+                    }
+                }
+            }
+            let run = runner.run_honest(&rigged, &mut r).expect("valid run");
+            let rigged_ring: i128 = (0..ring_size)
+                .map(|i| dmw::runner::utilities(&run, &truth)[i])
+                .sum();
+            let gain = rigged_ring - honest_ring;
+            total_gain += gain;
+            profited += u32::from(gain > 0);
+        }
+        rows.push(vec![
+            ring_size.to_string(),
+            format!("{profited}/{instances}"),
+            format!("{:.1}", total_gain as f64 / instances as f64),
+        ]);
+    }
+    report.table(
+        "ring gain vs ring size (gain in bid units, summed over the ring)",
+        &[
+            "ring size",
+            "instances with positive gain",
+            "mean ring gain",
+        ],
+        rows,
+    );
+    report.note("A ring of one is plain truthfulness (gain = 0); larger rings profit increasingly often — DMW, like every Vickrey-style mechanism, is not group-strategyproof. The cryptography binds agents to their bids; it cannot make coordinated bids unprofitable.".to_string());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vcg_report_shows_full_equivalence() {
+        let report = super::vcg(7);
+        let (_, _, rows) = &report.tables[0];
+        assert_eq!(rows[0][1], "25/25");
+    }
+
+    #[test]
+    fn randomized_respects_the_bounds() {
+        let report = super::randomized_two(8);
+        let (_, _, rows) = &report.tables[0];
+        let worst_rand: f64 = rows[0][2].parse().unwrap();
+        assert!(worst_rand <= 1.75 + 1e-9);
+    }
+
+    #[test]
+    fn obedient_is_cheaper_but_robbable() {
+        let report = super::obedient(9);
+        let (_, _, traffic) = &report.tables[0];
+        for row in traffic {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio > 1.0, "DMW must cost more than the strawman");
+        }
+        let (_, _, robbed) = &report.tables[1];
+        assert_eq!(robbed[0][0], "false");
+    }
+
+    #[test]
+    fn repeated_leak_is_worthless() {
+        let report = super::repeated(10);
+        let (_, _, rows) = &report.tables[0];
+        for row in rows {
+            let worst: i128 = row[2].parse().unwrap();
+            assert!(worst <= 0, "{} profited: {worst}", row[0]);
+        }
+    }
+
+    #[test]
+    fn singleton_ring_never_profits_but_larger_rings_can() {
+        let report = super::bid_rigging(11);
+        let (_, _, rows) = &report.tables[0];
+        // Ring of one is unilateral deviation: zero profitable instances.
+        assert_eq!(rows[0][1].split('/').next().unwrap(), "0");
+        // Some larger ring profits somewhere (Vickrey collusion).
+        let any_profit = rows[1..]
+            .iter()
+            .any(|row| row[1].split('/').next().unwrap().parse::<u32>().unwrap() > 0);
+        assert!(any_profit, "expected at least one profitable ring");
+    }
+}

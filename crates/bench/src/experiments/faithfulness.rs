@@ -1,0 +1,93 @@
+//! THM-faith — Theorems 4–5: DMW is a faithful implementation.
+//!
+//! Every protocol deviation in the catalogue, run against random
+//! instances: the deviator's utility never exceeds the suggested
+//! strategy's, and the table records how each deviation ends (detected
+//! and aborted, tolerated as silence, or outvoted).
+
+use super::{config, random_bids, rng};
+use crate::table::Report;
+use dmw::audit::faithfulness_table;
+
+/// Builds the faithfulness report: per-deviation aggregates over
+/// `instances` random instances.
+pub fn run(seed: u64) -> Report {
+    let mut r = rng(seed);
+    let n = 6;
+    let c = 2;
+    let m = 2;
+    let instances = 10u32;
+    let mut report = Report::new("Theorems 4–5 — faithfulness of DMW (deviation playbook)");
+    report.note(format!(
+        "{instances} random instances, n = {n}, c = {c}, m = {m}; one deviator (agent 2). \
+         Faithfulness predicts max(U_dev − U_sugg) ≤ 0 on every row."
+    ));
+
+    // label -> (completions, max advantage, example abort)
+    let mut agg: Vec<(&'static str, u32, i128, Option<String>)> = Vec::new();
+    for i in 0..instances {
+        let cfg = config(n, c, &mut r);
+        let truth = random_bids(&cfg, m, &mut r);
+        let rows = faithfulness_table(&cfg, &truth, 1, &mut r).expect("valid run");
+        for row in rows {
+            let advantage = row.deviating_utility - row.suggested_utility;
+            match agg.iter_mut().find(|(l, ..)| *l == row.behavior) {
+                Some((_, completions, max_adv, abort)) => {
+                    *completions += u32::from(row.completed);
+                    *max_adv = (*max_adv).max(advantage);
+                    if abort.is_none() {
+                        *abort = row.abort.clone();
+                    }
+                }
+                None => agg.push((
+                    row.behavior,
+                    u32::from(row.completed),
+                    advantage,
+                    row.abort.clone(),
+                )),
+            }
+        }
+        let _ = i;
+    }
+
+    let rows: Vec<Vec<String>> = agg
+        .iter()
+        .map(|(label, completions, max_adv, abort)| {
+            vec![
+                label.to_string(),
+                format!("{completions}/{instances}"),
+                max_adv.to_string(),
+                if *max_adv <= 0 {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                abort.clone().unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    report.table(
+        "per-deviation aggregate",
+        &[
+            "deviation",
+            "runs completed",
+            "max(U_dev − U_sugg)",
+            "faithful?",
+            "detected as (example)",
+        ],
+        rows,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_row_is_faithful() {
+        let report = super::run(31);
+        let (_, _, rows) = &report.tables[0];
+        for row in rows {
+            assert_eq!(row[3], "yes", "unfaithful row: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The experiment implementations, one module per paper artifact.
+
+pub mod ablation_batch;
+pub mod ablation_c;
+pub mod ablation_quantize;
+pub mod approx;
+pub mod comm;
+pub mod comp;
+pub mod equivalence;
+pub mod extensions;
+pub mod faithfulness;
+pub mod false_positive;
+pub mod fig2;
+pub mod privacy;
+pub mod truthfulness;
+pub mod voluntary;
+
+use dmw::config::DmwConfig;
+use dmw_mechanism::ExecutionTimes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for an experiment.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Protocol configuration with default group sizes.
+///
+/// # Panics
+///
+/// Panics on invalid `(n, c)` — experiments pass valid shapes.
+pub fn config(n: usize, c: usize, rng: &mut StdRng) -> DmwConfig {
+    DmwConfig::generate(n, c, rng).expect("valid experiment configuration")
+}
+
+/// Uniform random bid matrix within the configuration's bid set.
+///
+/// # Panics
+///
+/// Panics on invalid shapes — experiments pass valid shapes.
+pub fn random_bids(config: &DmwConfig, m: usize, rng: &mut StdRng) -> ExecutionTimes {
+    dmw_mechanism::generators::uniform(config.agents(), m, 1..=config.encoding().w_max(), rng)
+        .expect("valid experiment instance")
+}
+
+/// Least-squares slope of `log y` against `log x` — the measured growth
+/// exponent used to check the Θ-claims of Table 1.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    assert!(points.len() >= 2, "need at least two points for a slope");
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_recovers_exponents() {
+        let quadratic: Vec<(f64, f64)> =
+            (2..10).map(|x| (x as f64, (x * x) as f64 * 3.0)).collect();
+        assert!((log_log_slope(&quadratic) - 2.0).abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = (2..10).map(|x| (x as f64, x as f64 * 7.0)).collect();
+        assert!((log_log_slope(&linear) - 1.0).abs() < 1e-9);
+    }
+}

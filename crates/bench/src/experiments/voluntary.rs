@@ -1,0 +1,82 @@
+//! THM-svp — Theorems 6–9: strong voluntary participation.
+//!
+//! For every deviation by a peer, the minimum utility over all *compliant*
+//! agents stays non-negative: following the suggested strategy never
+//! costs an agent, no matter what the others do.
+
+use super::{config, random_bids, rng};
+use crate::table::Report;
+use dmw::audit::voluntary_participation_table;
+
+/// Builds the strong-voluntary-participation report.
+pub fn run(seed: u64) -> Report {
+    let mut r = rng(seed);
+    let n = 6;
+    let c = 2;
+    let m = 2;
+    let instances = 10u32;
+    let mut report = Report::new("Theorems 6–9 — strong voluntary participation");
+    report.note(format!(
+        "{instances} random instances, n = {n}, c = {c}, m = {m}; agent 4 deviates. \
+         The minimum compliant-agent utility must never go negative."
+    ));
+
+    let mut agg: Vec<(&'static str, i128, u32)> = Vec::new();
+    for _ in 0..instances {
+        let cfg = config(n, c, &mut r);
+        let truth = random_bids(&cfg, m, &mut r);
+        let rows = voluntary_participation_table(&cfg, &truth, 4, &mut r).expect("valid run");
+        for row in rows {
+            match agg.iter_mut().find(|(l, ..)| *l == row.behavior) {
+                Some((_, min_u, completions)) => {
+                    *min_u = (*min_u).min(row.min_compliant_utility);
+                    *completions += u32::from(row.completed);
+                }
+                None => agg.push((
+                    row.behavior,
+                    row.min_compliant_utility,
+                    u32::from(row.completed),
+                )),
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = agg
+        .iter()
+        .map(|(label, min_u, completions)| {
+            vec![
+                label.to_string(),
+                format!("{completions}/{instances}"),
+                min_u.to_string(),
+                if *min_u >= 0 {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect();
+    report.table(
+        "worst compliant utility per peer deviation",
+        &[
+            "peer deviation",
+            "runs completed",
+            "min compliant utility",
+            "non-negative?",
+        ],
+        rows,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compliant_agents_never_lose() {
+        let report = super::run(41);
+        let (_, _, rows) = &report.tables[0];
+        for row in rows {
+            assert_eq!(row[3], "yes", "compliant loss: {row:?}");
+        }
+    }
+}

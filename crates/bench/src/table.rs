@@ -1,0 +1,107 @@
+//! Markdown-ish table rendering shared by every experiment.
+
+/// A rendered experiment: a title, explanatory notes, and one or more
+/// tables.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment title.
+    pub title: String,
+    /// Free-form notes printed under the title.
+    pub notes: Vec<String>,
+    /// Tables: `(caption, header, rows)`.
+    pub tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+}
+
+impl Report {
+    /// Creates an empty report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, caption: impl Into<String>, header: &[&str], rows: Vec<Vec<String>>) {
+        self.tables.push((
+            caption.into(),
+            header.iter().map(|s| s.to_string()).collect(),
+            rows,
+        ));
+    }
+
+    /// Renders the full report as markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        for note in &self.notes {
+            out.push_str(&format!("{note}\n"));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        for (caption, header, rows) in &self.tables {
+            if !caption.is_empty() {
+                out.push_str(&format!("**{caption}**\n\n"));
+            }
+            out.push_str(&render_table(header, rows));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders one markdown table with padded columns.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    let mut out = fmt(header);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt(&sep));
+    for row in rows {
+        out.push_str(&fmt(row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_title_notes_and_tables() {
+        let mut r = Report::new("demo");
+        r.note("a note");
+        r.table("numbers", &["x", "y"], vec![vec!["1".into(), "2".into()]]);
+        let s = r.render();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("a note"));
+        assert!(s.contains("**numbers**"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+}

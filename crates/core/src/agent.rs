@@ -1,0 +1,890 @@
+//! The per-agent DMW state machine.
+//!
+//! One [`DmwAgent`] executes the four protocol phases for *all* `m` task
+//! auctions in lockstep (the auctions are "parallel and independent",
+//! Section 2.2). The runner advances agents in synchronous rounds:
+//!
+//! | round | phase | sends |
+//! |-------|-------|-------|
+//! | 0 | II *Bidding* | share bundles (unicast), commitments (broadcast) |
+//! | 1 | III.1–III.2 | verify shares (eqs (7)–(9)); publish `Λ/Ψ` + participation mask |
+//! | 2 | III.2–III.3 | verify `Λ/Ψ` (eq (11)); resolve first price (eq (12)); disclose `f`-shares |
+//! | 3 | III.3–III.4 | verify disclosures (eq (13)); identify winner (eq (14)); publish excluded `Λ'/Ψ'` (eq (15)) |
+//! | 4 | III.4–IV | verify excluded pairs; resolve second price; submit payment claim |
+//!
+//! **Detection semantics** (Theorems 4 and 8):
+//!
+//! * *Tampered content* — shares failing equations (7)–(9), disagreeing
+//!   participation masks, or published values failing their public checks —
+//!   triggers a broadcast `Abort` that terminates the run and zeroes
+//!   everyone's utility.
+//! * *Silence* — an agent that stops sending — marks the agent faulty; the
+//!   protocol proceeds on the surviving share points while at most `c`
+//!   agents are faulty in total, and aborts with `TooManyFaults` /
+//!   `Unresolvable` beyond that (the computability threshold the paper
+//!   offers for Open Problem 11).
+//!
+//! **Rotation verification.** Verifying equation (11) for *every* publisher
+//! would cost each agent `Θ(n³ log p)` per task, exceeding the paper's
+//! `Θ(mn² log p)` bound (Table 1). Instead, each published value is
+//! checked by its `c + 1` cyclically-next live agents: with at most `c`
+//! faulty agents at least one designated verifier is honest, so every
+//! tampered value is still detected and aborted — at
+//! `Θ((c + 1)·n² log p) = Θ(n² log p)` per agent per task for constant
+//! `c`, matching Table 1 (see DESIGN.md).
+
+use crate::config::DmwConfig;
+use crate::error::AbortReason;
+use crate::messages::Body;
+use crate::strategy::{Behavior, VerificationPolicy};
+use dmw_crypto::commitments::verify_shares;
+use dmw_crypto::polynomials::{BidPolynomials, ShareBundle};
+use dmw_crypto::resolution::{
+    compute_lambda_psi, exclude_winner, identify_winner, resolve_min_bid, verify_f_disclosure,
+    verify_lambda_psi, LambdaPsi,
+};
+use dmw_crypto::Commitments;
+use dmw_simnet::{Delivered, NodeId, Recipient};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Lifecycle of an agent within one protocol run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentStatus {
+    /// Executing the protocol.
+    Running,
+    /// Terminated after detecting (or being notified of) a violation.
+    Aborted(AbortReason),
+    /// Completed Phase IV; the final claim is available.
+    Done,
+}
+
+/// Everything an agent accumulates about one task auction.
+#[derive(Debug, Clone)]
+struct TaskState {
+    /// My polynomial quadruple (None for behaviors that never bid).
+    polys: Option<BidPolynomials>,
+    /// Commitments received per sender (self included).
+    commitments: Vec<Option<Commitments>>,
+    /// Share bundles received per sender (self included).
+    bundles: Vec<Option<ShareBundle>>,
+    /// Published `(Λ, Ψ)` pairs per agent.
+    pairs: Vec<Option<LambdaPsi>>,
+    /// Resolved first price.
+    first_price: Option<u64>,
+    /// Disclosed `f`-columns per discloser.
+    disclosures: Vec<Option<Vec<u64>>>,
+    /// Identified winner.
+    winner: Option<usize>,
+    /// Published excluded pairs per agent.
+    excluded: Vec<Option<LambdaPsi>>,
+    /// Resolved second price.
+    second_price: Option<u64>,
+}
+
+impl TaskState {
+    fn new(n: usize) -> Self {
+        TaskState {
+            polys: None,
+            commitments: vec![None; n],
+            bundles: vec![None; n],
+            pairs: vec![None; n],
+            first_price: None,
+            disclosures: vec![None; n],
+            winner: None,
+            excluded: vec![None; n],
+            second_price: None,
+        }
+    }
+}
+
+/// One protocol participant.
+#[derive(Debug)]
+pub struct DmwAgent {
+    config: DmwConfig,
+    me: usize,
+    behavior: Behavior,
+    policy: VerificationPolicy,
+    bids: Vec<u64>,
+    rng: StdRng,
+    status: AgentStatus,
+    tasks: Vec<TaskState>,
+    /// `alive[ℓ]`: agent `ℓ` completed the bidding phase toward me.
+    alive: Vec<bool>,
+    /// `faulty[ℓ]`: fell silent at a later stage. `faulty ⊆ alive`.
+    faulty: Vec<bool>,
+    /// My computed payment claim (bid units), present once Done.
+    claim: Option<Vec<u64>>,
+}
+
+impl DmwAgent {
+    /// Creates agent `me` with its per-task `bids` (values in `W`) and a
+    /// deterministic RNG derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range or any bid is outside `W` — the
+    /// runner validates both before construction.
+    pub fn new(
+        config: DmwConfig,
+        me: usize,
+        bids: Vec<u64>,
+        behavior: Behavior,
+        seed: u64,
+    ) -> Self {
+        Self::with_policy(
+            config,
+            me,
+            bids,
+            behavior,
+            VerificationPolicy::Rotation,
+            seed,
+        )
+    }
+
+    /// Like [`DmwAgent::new`] with an explicit verification policy.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DmwAgent::new`].
+    pub fn with_policy(
+        config: DmwConfig,
+        me: usize,
+        bids: Vec<u64>,
+        behavior: Behavior,
+        policy: VerificationPolicy,
+        seed: u64,
+    ) -> Self {
+        let n = config.agents();
+        assert!(me < n, "agent index out of range");
+        for &b in &bids {
+            assert!(config.encoding().contains_bid(b), "bid {b} outside W");
+        }
+        let m = bids.len();
+        DmwAgent {
+            config,
+            me,
+            behavior,
+            policy,
+            bids,
+            rng: StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            status: AgentStatus::Running,
+            tasks: (0..m).map(|_| TaskState::new(n)).collect(),
+            alive: vec![false; n],
+            faulty: vec![false; n],
+            claim: None,
+        }
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> &AgentStatus {
+        &self.status
+    }
+
+    /// The abort reason, if aborted.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match &self.status {
+            AgentStatus::Aborted(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The winner this agent computed for `task` (once identified).
+    pub fn winner_of(&self, task: usize) -> Option<usize> {
+        self.tasks.get(task).and_then(|t| t.winner)
+    }
+
+    /// The first price this agent resolved for `task`.
+    pub fn first_price_of(&self, task: usize) -> Option<u64> {
+        self.tasks.get(task).and_then(|t| t.first_price)
+    }
+
+    /// The second price this agent resolved for `task`.
+    pub fn second_price_of(&self, task: usize) -> Option<u64> {
+        self.tasks.get(task).and_then(|t| t.second_price)
+    }
+
+    /// The payment claim this agent submitted (present once Done).
+    pub fn claim(&self) -> Option<&[u64]> {
+        self.claim.as_deref()
+    }
+
+    /// The behavior this agent executes.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    fn n(&self) -> usize {
+        self.config.agents()
+    }
+
+    fn m(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn abort(&mut self, reason: AbortReason, out: &mut Vec<(Recipient, Body)>) {
+        self.status = AgentStatus::Aborted(reason);
+        out.push((Recipient::Broadcast, Body::Abort { reason }));
+    }
+
+    /// Total faulty participants observed so far (silent in bidding or
+    /// marked later).
+    fn fault_count(&self) -> usize {
+        (0..self.n())
+            .filter(|&l| !self.alive[l] || self.faulty[l])
+            .count()
+    }
+
+    /// Indices of agents alive and not marked faulty, ascending — the
+    /// "responsive" set whose points drive resolution.
+    fn live_indices(&self) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&l| self.alive[l] && !self.faulty[l])
+            .collect()
+    }
+
+    /// Indices of agents that completed bidding (the polynomials summed in
+    /// `E` and `H`), ascending.
+    fn alive_indices(&self) -> Vec<usize> {
+        (0..self.n()).filter(|&l| self.alive[l]).collect()
+    }
+
+    /// Am I one of `publisher`'s `c + 1` designated rotation verifiers?
+    /// Designated verifiers are the cyclically-next live agents after the
+    /// publisher, so at most `c` faults leave at least one honest verifier.
+    fn is_designated_verifier(&self, publisher: usize) -> bool {
+        if self.policy == VerificationPolicy::Full {
+            return true;
+        }
+        let live = self.live_indices();
+        let Some(pos) = live.iter().position(|&l| l == publisher) else {
+            return false;
+        };
+        let verifiers = (self.config.encoding().faults() + 1).min(live.len().saturating_sub(1));
+        (1..=verifiers).any(|k| live[(pos + k) % live.len()] == self.me)
+    }
+
+    /// Advances one synchronous round. Consumes the round's inbox and
+    /// returns the messages to transmit. A non-`Running` agent emits
+    /// nothing.
+    pub fn on_round(&mut self, round: u64, inbox: Vec<Delivered<Body>>) -> Vec<(Recipient, Body)> {
+        // Unpack coalesced containers (produced by a batching runner)
+        // into the individual protocol messages.
+        let inbox: Vec<Delivered<Body>> = inbox
+            .into_iter()
+            .flat_map(|d| match d.payload {
+                Body::Batch(bodies) => bodies
+                    .into_iter()
+                    .map(|payload| Delivered {
+                        from: d.from,
+                        broadcast: d.broadcast,
+                        payload,
+                    })
+                    .collect::<Vec<_>>(),
+                _ => vec![d],
+            })
+            .collect();
+        let mut out = Vec::new();
+        // Honour peer aborts first, at any stage.
+        if self.status == AgentStatus::Running {
+            for msg in &inbox {
+                if let Body::Abort { .. } = msg.payload {
+                    self.status =
+                        AgentStatus::Aborted(AbortReason::PeerAborted { peer: msg.from.0 });
+                    return out;
+                }
+            }
+        }
+        if self.status != AgentStatus::Running {
+            return out;
+        }
+        match round {
+            0 => self.round_bidding(&mut out),
+            1 => self.round_verify_and_publish(inbox, &mut out),
+            2 => self.round_resolve_first(inbox, &mut out),
+            3 => self.round_identify_winner(inbox, &mut out),
+            4 => self.round_second_price_and_claim(inbox, &mut out),
+            _ => {}
+        }
+        out
+    }
+
+    /// Round 0 — Phase II *Bidding*: sample polynomials, distribute shares,
+    /// publish commitments.
+    fn round_bidding(&mut self, out: &mut Vec<(Recipient, Body)>) {
+        if matches!(self.behavior, Behavior::Silent) {
+            return;
+        }
+        let group = *self.config.group();
+        let encoding = *self.config.encoding();
+        let zq = group.zq();
+        for task in 0..self.m() {
+            let polys = BidPolynomials::generate(&group, &encoding, self.bids[task], &mut self.rng)
+                .expect("bids validated at construction");
+            // Publish commitments (II.3); a tamperer keeps the honest copy
+            // in its own state.
+            let honest = Commitments::commit(&group, &encoding, &polys);
+            let published = match self.behavior {
+                Behavior::TamperedCommitments => honest.clone().with_tampered_q(&group, 0),
+                _ => honest.clone(),
+            };
+            let my_bundle = polys.share_for(&zq, self.config.pseudonym(self.me));
+            self.tasks[task].bundles[self.me] = Some(my_bundle);
+            self.tasks[task].commitments[self.me] = Some(honest);
+            out.push((
+                Recipient::Broadcast,
+                Body::Commit {
+                    task,
+                    commitments: published,
+                },
+            ));
+            // Distribute shares (II.2).
+            for peer in 0..self.n() {
+                if peer == self.me {
+                    continue;
+                }
+                match self.behavior {
+                    Behavior::WithholdShares => continue,
+                    Behavior::SelectiveShares { threshold } if peer >= threshold => continue,
+                    _ => {}
+                }
+                let mut bundle = polys.share_for(&zq, self.config.pseudonym(peer));
+                if matches!(self.behavior, Behavior::CorruptShareTo { victim } if victim == peer) {
+                    bundle.e = zq.add(bundle.e, 1);
+                }
+                out.push((
+                    Recipient::Unicast(NodeId(peer)),
+                    Body::Shares { task, bundle },
+                ));
+            }
+            self.tasks[task].polys = Some(polys);
+        }
+    }
+
+    /// Round 1 — Phase III.1 + III.2 publication: verify received bundles
+    /// against commitments, fix the participation mask, publish `Λ/Ψ`.
+    fn round_verify_and_publish(
+        &mut self,
+        inbox: Vec<Delivered<Body>>,
+        out: &mut Vec<(Recipient, Body)>,
+    ) {
+        if matches!(self.behavior, Behavior::Silent) {
+            return;
+        }
+        // File the bidding-phase traffic.
+        for msg in inbox {
+            match msg.payload {
+                Body::Shares { task, bundle } => {
+                    self.tasks[task].bundles[msg.from.0] = Some(bundle);
+                }
+                Body::Commit { task, commitments } => {
+                    self.tasks[task].commitments[msg.from.0] = Some(commitments);
+                }
+                _ => {}
+            }
+        }
+        // An agent is alive iff its shares AND commitments arrived for
+        // every task.
+        for l in 0..self.n() {
+            self.alive[l] = (0..self.m()).all(|t| {
+                self.tasks[t].bundles[l].is_some() && self.tasks[t].commitments[l].is_some()
+            });
+        }
+        let faults = self.fault_count();
+        if faults > self.config.encoding().faults() {
+            self.abort(
+                AbortReason::TooManyFaults {
+                    observed: faults,
+                    tolerated: self.config.encoding().faults(),
+                },
+                out,
+            );
+            return;
+        }
+        // Verify every live sender's bundle (III.1, eqs (7)–(9)).
+        let group = *self.config.group();
+        let my_alpha = self.config.pseudonym(self.me);
+        for task in 0..self.m() {
+            for l in 0..self.n() {
+                if !self.alive[l] || l == self.me {
+                    continue;
+                }
+                let bundle = self.tasks[task].bundles[l].expect("alive implies present");
+                let commitments = self.tasks[task].commitments[l]
+                    .as_ref()
+                    .expect("alive implies present");
+                if verify_shares(&group, commitments, my_alpha, &bundle).is_err() {
+                    self.abort(AbortReason::InvalidShares { sender: l }, out);
+                    return;
+                }
+            }
+        }
+        if matches!(self.behavior, Behavior::SilentAfterBidding) {
+            return;
+        }
+        // Publish lambda/psi over the live set (III.2, eq (10)).
+        let included = self.alive.clone();
+        let alive = self.alive_indices();
+        for task in 0..self.m() {
+            let e_shares: Vec<u64> = alive
+                .iter()
+                .map(|&l| self.tasks[task].bundles[l].expect("alive").e)
+                .collect();
+            let h_shares: Vec<u64> = alive
+                .iter()
+                .map(|&l| self.tasks[task].bundles[l].expect("alive").h)
+                .collect();
+            let honest = compute_lambda_psi(&group, &e_shares, &h_shares);
+            self.tasks[task].pairs[self.me] = Some(honest);
+            let mut pair = honest;
+            if matches!(self.behavior, Behavior::WrongLambda) {
+                pair.lambda = group.zp().mul(pair.lambda, group.z1());
+            }
+            out.push((
+                Recipient::Broadcast,
+                Body::Lambda {
+                    task,
+                    pair,
+                    included: included.clone(),
+                },
+            ));
+        }
+    }
+
+    /// Round 2 — Phase III.2 verification + first-price resolution +
+    /// disclosure kick-off.
+    fn round_resolve_first(
+        &mut self,
+        inbox: Vec<Delivered<Body>>,
+        out: &mut Vec<(Recipient, Body)>,
+    ) {
+        if matches!(
+            self.behavior,
+            Behavior::Silent | Behavior::SilentAfterBidding
+        ) {
+            return;
+        }
+        for msg in inbox {
+            if let Body::Lambda {
+                task,
+                pair,
+                included,
+            } = msg.payload
+            {
+                // A publisher whose participation mask disagrees with mine
+                // is evidence of selective share delivery: hard abort.
+                if included != self.alive {
+                    self.abort(
+                        AbortReason::InconsistentMask {
+                            publisher: msg.from.0,
+                        },
+                        out,
+                    );
+                    return;
+                }
+                if msg.from.0 != self.me {
+                    self.tasks[task].pairs[msg.from.0] = Some(pair);
+                }
+            }
+        }
+        let group = *self.config.group();
+        let encoding = *self.config.encoding();
+        // Silent publishers become faulty (tolerated up to c in total).
+        for l in self.alive_indices() {
+            if (0..self.m()).any(|t| self.tasks[t].pairs[l].is_none()) {
+                self.faulty[l] = true;
+            }
+        }
+        if self.fault_count() > encoding.faults() {
+            self.abort(
+                AbortReason::TooManyFaults {
+                    observed: self.fault_count(),
+                    tolerated: encoding.faults(),
+                },
+                out,
+            );
+            return;
+        }
+        // Rotation verification of eq (11): I check my designated
+        // publishers; any honest verifier detecting tampering aborts the
+        // whole run.
+        let alive = self.alive_indices();
+        for task in 0..self.m() {
+            let commitments: Vec<Commitments> = alive
+                .iter()
+                .map(|&l| self.tasks[task].commitments[l].clone().expect("alive"))
+                .collect();
+            for &l in &self.live_indices() {
+                if l == self.me || !self.is_designated_verifier(l) {
+                    continue;
+                }
+                let pair = self.tasks[task].pairs[l].expect("live implies published");
+                if verify_lambda_psi(
+                    &group,
+                    &commitments,
+                    l,
+                    self.config.pseudonym(l),
+                    &pair,
+                    None,
+                )
+                .is_err()
+                {
+                    self.abort(AbortReason::InvalidLambdaPsi { publisher: l }, out);
+                    return;
+                }
+            }
+        }
+        // Resolve the first price per task from the responsive points
+        // (eq (12)).
+        let responsive = self.live_indices();
+        let alphas: Vec<u64> = responsive
+            .iter()
+            .map(|&l| self.config.pseudonym(l))
+            .collect();
+        for task in 0..self.m() {
+            let lambdas: Vec<u64> = responsive
+                .iter()
+                .map(|&l| self.tasks[task].pairs[l].expect("responsive").lambda)
+                .collect();
+            match resolve_min_bid(&group, &encoding, &alphas, &lambdas) {
+                Ok(price) => self.tasks[task].first_price = Some(price.bid),
+                Err(_) => {
+                    self.abort(AbortReason::Unresolvable, out);
+                    return;
+                }
+            }
+        }
+        // Disclose my f-column if I am among the designated disclosers:
+        // the first `winner_points + c` responsive agents (the `+ c`
+        // spares keep identification alive when disclosers fall silent).
+        for task in 0..self.m() {
+            let first_price = self.tasks[task].first_price.expect("resolved above");
+            let needed = encoding.winner_points(first_price) + encoding.faults();
+            let disclosers: Vec<usize> = responsive.iter().copied().take(needed).collect();
+            if disclosers.contains(&self.me) {
+                let mut f_values: Vec<u64> = (0..self.n())
+                    .map(|l| self.tasks[task].bundles[l].map(|b| b.f).unwrap_or(0))
+                    .collect();
+                if matches!(self.behavior, Behavior::WrongDisclosure) {
+                    f_values[self.me] = group.zq().add(f_values[self.me], 1);
+                }
+                self.tasks[task].disclosures[self.me] = Some(f_values.clone());
+                out.push((Recipient::Broadcast, Body::Disclose { task, f_values }));
+            }
+        }
+    }
+
+    /// Round 3 — Phase III.3: verify disclosures, identify the winner,
+    /// publish the winner-excluded pair.
+    fn round_identify_winner(
+        &mut self,
+        inbox: Vec<Delivered<Body>>,
+        out: &mut Vec<(Recipient, Body)>,
+    ) {
+        if matches!(
+            self.behavior,
+            Behavior::Silent | Behavior::SilentAfterBidding
+        ) {
+            return;
+        }
+        for msg in inbox {
+            if let Body::Disclose { task, f_values } = msg.payload {
+                // Only responsive agents' disclosures are admissible.
+                if self.alive[msg.from.0] && !self.faulty[msg.from.0] {
+                    self.tasks[task].disclosures[msg.from.0] = Some(f_values);
+                }
+            }
+        }
+        let group = *self.config.group();
+        let encoding = *self.config.encoding();
+        let alive = self.alive_indices();
+        for task in 0..self.m() {
+            let commitments: Vec<Commitments> = alive
+                .iter()
+                .map(|&l| self.tasks[task].commitments[l].clone().expect("alive"))
+                .collect();
+            // Rotation verification of eq (13).
+            for k in self.live_indices() {
+                if k == self.me || !self.is_designated_verifier(k) {
+                    continue;
+                }
+                let Some(f_values) = self.tasks[task].disclosures[k].clone() else {
+                    continue;
+                };
+                let live_values: Vec<u64> = alive.iter().map(|&l| f_values[l]).collect();
+                let psi_k = self.tasks[task].pairs[k].expect("responsive").psi;
+                if verify_f_disclosure(
+                    &group,
+                    &commitments,
+                    k,
+                    self.config.pseudonym(k),
+                    &live_values,
+                    psi_k,
+                )
+                .is_err()
+                {
+                    self.abort(AbortReason::InvalidDisclosure { discloser: k }, out);
+                    return;
+                }
+            }
+            // Identify the winner from the first `winner_points` available
+            // disclosures (eq (14)).
+            let first_price = self.tasks[task].first_price.expect("resolved in round 2");
+            let needed = encoding.winner_points(first_price);
+            let valid_disclosers: Vec<usize> = self
+                .live_indices()
+                .into_iter()
+                .filter(|&k| self.tasks[task].disclosures[k].is_some())
+                .take(needed)
+                .collect();
+            if valid_disclosers.len() < needed {
+                self.abort(AbortReason::Unresolvable, out);
+                return;
+            }
+            let points: Vec<u64> = valid_disclosers
+                .iter()
+                .map(|&k| self.config.pseudonym(k))
+                .collect();
+            let f_columns: Vec<Vec<u64>> = alive
+                .iter()
+                .map(|&l| {
+                    valid_disclosers
+                        .iter()
+                        .map(|&k| self.tasks[task].disclosures[k].as_ref().expect("present")[l])
+                        .collect()
+                })
+                .collect();
+            let winner_pos =
+                match identify_winner(&group, &encoding, first_price, &points, &f_columns) {
+                    Ok(pos) => pos,
+                    Err(_) => {
+                        self.abort(AbortReason::NoWinner, out);
+                        return;
+                    }
+                };
+            let winner = alive[winner_pos];
+            self.tasks[task].winner = Some(winner);
+            // Publish the winner-excluded pair (eq (15)).
+            let my_pair = self.tasks[task].pairs[self.me].expect("I published in round 1");
+            let winner_bundle = self.tasks[task].bundles[winner].expect("winner is alive");
+            let honest = exclude_winner(&group, &my_pair, winner_bundle.e, winner_bundle.h)
+                .expect("honest pairs divide cleanly");
+            self.tasks[task].excluded[self.me] = Some(honest);
+            let mut pair = honest;
+            if matches!(self.behavior, Behavior::WrongExcluded) {
+                pair.lambda = group.zp().mul(pair.lambda, group.z1());
+            }
+            out.push((Recipient::Broadcast, Body::Excluded { task, pair }));
+        }
+    }
+
+    /// Round 4 — Phase III.4 + IV: verify excluded pairs, resolve the
+    /// second price, submit the payment claim.
+    fn round_second_price_and_claim(
+        &mut self,
+        inbox: Vec<Delivered<Body>>,
+        out: &mut Vec<(Recipient, Body)>,
+    ) {
+        if matches!(
+            self.behavior,
+            Behavior::Silent | Behavior::SilentAfterBidding
+        ) {
+            return;
+        }
+        for msg in inbox {
+            if let Body::Excluded { task, pair } = msg.payload {
+                if msg.from.0 != self.me {
+                    self.tasks[task].excluded[msg.from.0] = Some(pair);
+                }
+            }
+        }
+        let group = *self.config.group();
+        let encoding = *self.config.encoding();
+        // Silent publishers become faulty.
+        for l in self.live_indices() {
+            if (0..self.m()).any(|t| self.tasks[t].excluded[l].is_none()) {
+                self.faulty[l] = true;
+            }
+        }
+        if self.fault_count() > encoding.faults() {
+            self.abort(
+                AbortReason::TooManyFaults {
+                    observed: self.fault_count(),
+                    tolerated: encoding.faults(),
+                },
+                out,
+            );
+            return;
+        }
+        let alive = self.alive_indices();
+        for task in 0..self.m() {
+            let winner = self.tasks[task].winner.expect("identified in round 3");
+            let winner_pos_in_alive = alive
+                .iter()
+                .position(|&l| l == winner)
+                .expect("winner is alive");
+            let commitments: Vec<Commitments> = alive
+                .iter()
+                .map(|&l| self.tasks[task].commitments[l].clone().expect("alive"))
+                .collect();
+            // Rotation verification of the post-exclusion eq (11).
+            for &l in &self.live_indices() {
+                if l == self.me || !self.is_designated_verifier(l) {
+                    continue;
+                }
+                let pair = self.tasks[task].excluded[l].expect("live implies published");
+                if verify_lambda_psi(
+                    &group,
+                    &commitments,
+                    l,
+                    self.config.pseudonym(l),
+                    &pair,
+                    Some(winner_pos_in_alive),
+                )
+                .is_err()
+                {
+                    self.abort(AbortReason::InvalidExcluded { publisher: l }, out);
+                    return;
+                }
+            }
+            // Resolve the second price from the responsive excluded points.
+            let responsive = self.live_indices();
+            let alphas: Vec<u64> = responsive
+                .iter()
+                .map(|&l| self.config.pseudonym(l))
+                .collect();
+            let lambdas: Vec<u64> = responsive
+                .iter()
+                .map(|&l| self.tasks[task].excluded[l].expect("responsive").lambda)
+                .collect();
+            match resolve_min_bid(&group, &encoding, &alphas, &lambdas) {
+                Ok(price) => self.tasks[task].second_price = Some(price.bid),
+                Err(_) => {
+                    self.abort(AbortReason::Unresolvable, out);
+                    return;
+                }
+            }
+        }
+        // Phase IV: compute the payment vector and submit it.
+        let mut payments = vec![0u64; self.n()];
+        for task in 0..self.m() {
+            let winner = self.tasks[task].winner.expect("identified");
+            payments[winner] += self.tasks[task].second_price.expect("resolved");
+        }
+        self.claim = Some(payments.clone());
+        let mut claimed = payments;
+        if let Behavior::InflatedPaymentClaim { delta } = self.behavior {
+            claimed[self.me] += delta;
+            self.claim = Some(claimed.clone());
+        }
+        out.push((
+            Recipient::Broadcast,
+            Body::PaymentClaim { payments: claimed },
+        ));
+        self.status = AgentStatus::Done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn config(n: usize, c: usize, seed: u64) -> DmwConfig {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        DmwConfig::generate(n, c, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn agent_starts_running_with_validated_bids() {
+        let cfg = config(5, 1, 1);
+        let agent = DmwAgent::new(cfg, 0, vec![1, 2], Behavior::Suggested, 42);
+        assert_eq!(*agent.status(), AgentStatus::Running);
+        assert!(agent.claim().is_none());
+        assert!(agent.abort_reason().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside W")]
+    fn out_of_range_bid_panics() {
+        let cfg = config(5, 1, 2);
+        // w_max = 3 for n=5, c=1.
+        let _ = DmwAgent::new(cfg, 0, vec![4], Behavior::Suggested, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let cfg = config(4, 0, 3);
+        let _ = DmwAgent::new(cfg, 9, vec![1], Behavior::Suggested, 42);
+    }
+
+    #[test]
+    fn silent_agent_emits_nothing() {
+        let cfg = config(5, 1, 4);
+        let mut agent = DmwAgent::new(cfg, 2, vec![1], Behavior::Silent, 42);
+        for round in 0..5 {
+            assert!(agent.on_round(round, vec![]).is_empty());
+        }
+    }
+
+    #[test]
+    fn bidding_round_emits_shares_and_commitments() {
+        let cfg = config(5, 1, 5);
+        let mut agent = DmwAgent::new(cfg, 0, vec![1, 3], Behavior::Suggested, 42);
+        let out = agent.on_round(0, vec![]);
+        let shares = out
+            .iter()
+            .filter(|(_, b)| matches!(b, Body::Shares { .. }))
+            .count();
+        let commits = out
+            .iter()
+            .filter(|(r, b)| matches!(b, Body::Commit { .. }) && matches!(r, Recipient::Broadcast))
+            .count();
+        // m = 2 tasks: 4 unicast share bundles each, one commit broadcast
+        // each.
+        assert_eq!(shares, 8);
+        assert_eq!(commits, 2);
+    }
+
+    #[test]
+    fn peer_abort_is_honoured_at_any_round() {
+        let cfg = config(5, 1, 6);
+        let mut agent = DmwAgent::new(cfg, 0, vec![1], Behavior::Suggested, 42);
+        let _ = agent.on_round(0, vec![]);
+        let abort = Delivered {
+            from: NodeId(3),
+            broadcast: true,
+            payload: Body::Abort {
+                reason: AbortReason::Unresolvable,
+            },
+        };
+        let out = agent.on_round(1, vec![abort]);
+        assert!(out.is_empty());
+        assert_eq!(
+            agent.abort_reason(),
+            Some(AbortReason::PeerAborted { peer: 3 })
+        );
+    }
+
+    #[test]
+    fn missing_everyone_aborts_with_too_many_faults() {
+        // An agent that hears from nobody in the bidding round sees n - 1
+        // faults, far beyond any tolerated c.
+        let cfg = config(5, 1, 7);
+        let mut agent = DmwAgent::new(cfg, 0, vec![1], Behavior::Suggested, 42);
+        let _ = agent.on_round(0, vec![]);
+        let out = agent.on_round(1, vec![]);
+        assert!(matches!(
+            agent.abort_reason(),
+            Some(AbortReason::TooManyFaults {
+                observed: 4,
+                tolerated: 1
+            })
+        ));
+        // The abort is broadcast so peers terminate too.
+        assert!(out
+            .iter()
+            .any(|(r, b)| matches!(b, Body::Abort { .. }) && matches!(r, Recipient::Broadcast)));
+    }
+}

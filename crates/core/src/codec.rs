@@ -1,0 +1,624 @@
+//! Binary wire codec for protocol messages.
+//!
+//! The communication-cost experiment should count *real* bytes, not
+//! estimates, so every [`Body`] encodes to a compact binary form: a tag
+//! byte, little-endian `u64` residues, and `u32`-length-prefixed vectors
+//! (participation masks are bit-packed). [`Body::size_bytes`] — the
+//! quantity the network statistics accumulate — is the exact encoded
+//! length, and a round-trip property test pins `encode ∘ decode` to the
+//! identity.
+
+use crate::error::AbortReason;
+use crate::messages::Body;
+use dmw_crypto::polynomials::ShareBundle;
+use dmw_crypto::resolution::LambdaPsi;
+use dmw_crypto::{BidEncoding, Commitments};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// Unknown message or abort-reason tag.
+    BadTag {
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow {
+        /// The claimed element count.
+        len: u32,
+    },
+    /// Trailing bytes after a complete message.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// Commitment vectors did not match the supplied encoding's `σ`.
+    WrongCommitmentShape,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::BadTag { tag } => write!(f, "unknown tag {tag:#04x}"),
+            DecodeError::LengthOverflow { len } => write!(f, "length {len} exceeds sanity limit"),
+            DecodeError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes"),
+            DecodeError::WrongCommitmentShape => {
+                write!(f, "commitment vectors do not match the encoding")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Sanity cap on decoded vector lengths (the protocol never exceeds the
+/// agent count, far below this).
+const MAX_VEC: u32 = 1 << 20;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(64),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64s(&mut self, vs: &[u64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    fn bools(&mut self, vs: &[bool]) {
+        self.u32(vs.len() as u32);
+        let mut byte = 0u8;
+        for (i, &b) in vs.iter().enumerate() {
+            if b {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                self.buf.push(byte);
+                byte = 0;
+            }
+        }
+        if !vs.len().is_multiple_of(8) {
+            self.buf.push(byte);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let v = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let end = self.pos + 4;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let end = self.pos + 8;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let len = self.u32()?;
+        if len > MAX_VEC {
+            return Err(DecodeError::LengthOverflow { len });
+        }
+        (0..len).map(|_| self.u64()).collect()
+    }
+
+    fn bools(&mut self) -> Result<Vec<bool>, DecodeError> {
+        let len = self.u32()?;
+        if len > MAX_VEC {
+            return Err(DecodeError::LengthOverflow { len });
+        }
+        let bytes = len.div_ceil(8) as usize;
+        let slice = self
+            .buf
+            .get(self.pos..self.pos + bytes)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += bytes;
+        Ok((0..len as usize)
+            .map(|i| slice[i / 8] & (1 << (i % 8)) != 0)
+            .collect())
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        let extra = self.buf.len() - self.pos;
+        if extra != 0 {
+            return Err(DecodeError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+const TAG_SHARES: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_LAMBDA: u8 = 3;
+const TAG_DISCLOSE: u8 = 4;
+const TAG_EXCLUDED: u8 = 5;
+const TAG_PAYMENT: u8 = 6;
+const TAG_ABORT: u8 = 7;
+const TAG_BATCH: u8 = 8;
+
+fn encode_abort(reason: &AbortReason, w: &mut Writer) {
+    match reason {
+        AbortReason::InvalidShares { sender } => {
+            w.u8(0);
+            w.u32(*sender as u32);
+        }
+        AbortReason::InvalidLambdaPsi { publisher } => {
+            w.u8(1);
+            w.u32(*publisher as u32);
+        }
+        AbortReason::InconsistentMask { publisher } => {
+            w.u8(2);
+            w.u32(*publisher as u32);
+        }
+        AbortReason::InvalidDisclosure { discloser } => {
+            w.u8(3);
+            w.u32(*discloser as u32);
+        }
+        AbortReason::InvalidExcluded { publisher } => {
+            w.u8(4);
+            w.u32(*publisher as u32);
+        }
+        AbortReason::Unresolvable => w.u8(5),
+        AbortReason::NoWinner => w.u8(6),
+        AbortReason::TooManyFaults {
+            observed,
+            tolerated,
+        } => {
+            w.u8(7);
+            w.u32(*observed as u32);
+            w.u32(*tolerated as u32);
+        }
+        AbortReason::PaymentDisagreement => w.u8(8),
+        AbortReason::PeerAborted { peer } => {
+            w.u8(9);
+            w.u32(*peer as u32);
+        }
+    }
+}
+
+fn decode_abort(r: &mut Reader<'_>) -> Result<AbortReason, DecodeError> {
+    Ok(match r.u8()? {
+        0 => AbortReason::InvalidShares {
+            sender: r.u32()? as usize,
+        },
+        1 => AbortReason::InvalidLambdaPsi {
+            publisher: r.u32()? as usize,
+        },
+        2 => AbortReason::InconsistentMask {
+            publisher: r.u32()? as usize,
+        },
+        3 => AbortReason::InvalidDisclosure {
+            discloser: r.u32()? as usize,
+        },
+        4 => AbortReason::InvalidExcluded {
+            publisher: r.u32()? as usize,
+        },
+        5 => AbortReason::Unresolvable,
+        6 => AbortReason::NoWinner,
+        7 => AbortReason::TooManyFaults {
+            observed: r.u32()? as usize,
+            tolerated: r.u32()? as usize,
+        },
+        8 => AbortReason::PaymentDisagreement,
+        9 => AbortReason::PeerAborted {
+            peer: r.u32()? as usize,
+        },
+        tag => return Err(DecodeError::BadTag { tag }),
+    })
+}
+
+impl Body {
+    /// Encodes the message to its wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Body::Shares { task, bundle } => {
+                w.u8(TAG_SHARES);
+                w.u32(*task as u32);
+                w.u64(bundle.e);
+                w.u64(bundle.f);
+                w.u64(bundle.g);
+                w.u64(bundle.h);
+            }
+            Body::Commit { task, commitments } => {
+                w.u8(TAG_COMMIT);
+                w.u32(*task as u32);
+                w.u64s(commitments.o());
+                w.u64s(commitments.q());
+                w.u64s(commitments.r());
+            }
+            Body::Lambda {
+                task,
+                pair,
+                included,
+            } => {
+                w.u8(TAG_LAMBDA);
+                w.u32(*task as u32);
+                w.u64(pair.lambda);
+                w.u64(pair.psi);
+                w.bools(included);
+            }
+            Body::Disclose { task, f_values } => {
+                w.u8(TAG_DISCLOSE);
+                w.u32(*task as u32);
+                w.u64s(f_values);
+            }
+            Body::Excluded { task, pair } => {
+                w.u8(TAG_EXCLUDED);
+                w.u32(*task as u32);
+                w.u64(pair.lambda);
+                w.u64(pair.psi);
+            }
+            Body::PaymentClaim { payments } => {
+                w.u8(TAG_PAYMENT);
+                w.u64s(payments);
+            }
+            Body::Abort { reason } => {
+                w.u8(TAG_ABORT);
+                encode_abort(reason, &mut w);
+            }
+            Body::Batch(bodies) => {
+                assert!(
+                    !bodies.iter().any(|b| matches!(b, Body::Batch(_))),
+                    "batches never nest"
+                );
+                w.u8(TAG_BATCH);
+                w.u32(bodies.len() as u32);
+                for body in bodies {
+                    let encoded = body.encode();
+                    w.u32(encoded.len() as u32);
+                    w.buf.extend_from_slice(&encoded);
+                }
+            }
+        }
+        w.buf
+    }
+
+    /// The exact wire size in bytes, computed without allocating.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Body::Shares { .. } => 1 + 4 + 4 * 8,
+            Body::Commit { commitments, .. } => {
+                1 + 4
+                    + 3 * 4
+                    + (commitments.o().len() + commitments.q().len() + commitments.r().len()) * 8
+            }
+            Body::Lambda { included, .. } => 1 + 4 + 2 * 8 + 4 + included.len().div_ceil(8),
+            Body::Disclose { f_values, .. } => 1 + 4 + 4 + f_values.len() * 8,
+            Body::Excluded { .. } => 1 + 4 + 2 * 8,
+            Body::PaymentClaim { payments } => 1 + 4 + payments.len() * 8,
+            Body::Abort { reason } => {
+                1 + 1
+                    + match reason {
+                        AbortReason::Unresolvable
+                        | AbortReason::NoWinner
+                        | AbortReason::PaymentDisagreement => 0,
+                        AbortReason::TooManyFaults { .. } => 8,
+                        _ => 4,
+                    }
+            }
+            Body::Batch(bodies) => {
+                1 + 4 + bodies.iter().map(|b| 4 + b.encoded_len()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Decodes a message from its wire form. Commitment vectors are
+    /// validated against `encoding` (all three must have `σ` entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for truncated input, unknown tags,
+    /// oversized length prefixes, trailing bytes, or commitment vectors
+    /// that do not match the encoding.
+    pub fn decode(bytes: &[u8], encoding: &BidEncoding) -> Result<Body, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let body = match r.u8()? {
+            TAG_SHARES => Body::Shares {
+                task: r.u32()? as usize,
+                bundle: ShareBundle {
+                    e: r.u64()?,
+                    f: r.u64()?,
+                    g: r.u64()?,
+                    h: r.u64()?,
+                },
+            },
+            TAG_COMMIT => {
+                let task = r.u32()? as usize;
+                let o = r.u64s()?;
+                let q = r.u64s()?;
+                let rr = r.u64s()?;
+                let commitments = Commitments::from_parts(encoding, o, q, rr)
+                    .map_err(|_| DecodeError::WrongCommitmentShape)?;
+                Body::Commit { task, commitments }
+            }
+            TAG_LAMBDA => Body::Lambda {
+                task: r.u32()? as usize,
+                pair: LambdaPsi {
+                    lambda: r.u64()?,
+                    psi: r.u64()?,
+                },
+                included: r.bools()?,
+            },
+            TAG_DISCLOSE => Body::Disclose {
+                task: r.u32()? as usize,
+                f_values: r.u64s()?,
+            },
+            TAG_EXCLUDED => Body::Excluded {
+                task: r.u32()? as usize,
+                pair: LambdaPsi {
+                    lambda: r.u64()?,
+                    psi: r.u64()?,
+                },
+            },
+            TAG_PAYMENT => Body::PaymentClaim {
+                payments: r.u64s()?,
+            },
+            TAG_ABORT => Body::Abort {
+                reason: decode_abort(&mut r)?,
+            },
+            TAG_BATCH => {
+                let count = r.u32()?;
+                if count > MAX_VEC {
+                    return Err(DecodeError::LengthOverflow { len: count });
+                }
+                let mut bodies = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let len = r.u32()? as usize;
+                    let start = r.pos;
+                    let end = start.checked_add(len).ok_or(DecodeError::Truncated)?;
+                    let slice = r.buf.get(start..end).ok_or(DecodeError::Truncated)?;
+                    // Batches never nest.
+                    if slice.first() == Some(&TAG_BATCH) {
+                        return Err(DecodeError::BadTag { tag: TAG_BATCH });
+                    }
+                    bodies.push(Body::decode(slice, encoding)?);
+                    r.pos = end;
+                }
+                Body::Batch(bodies)
+            }
+            tag => return Err(DecodeError::BadTag { tag }),
+        };
+        r.finish()?;
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmw_crypto::polynomials::BidPolynomials;
+    use dmw_modmath::SchnorrGroup;
+    use rand::SeedableRng;
+
+    fn sample_bodies() -> (BidEncoding, Vec<Body>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let group = SchnorrGroup::generate(40, 16, &mut rng).unwrap();
+        let encoding = BidEncoding::new(5, 1).unwrap();
+        let polys = BidPolynomials::generate(&group, &encoding, 2, &mut rng).unwrap();
+        let commitments = Commitments::commit(&group, &encoding, &polys);
+        let bodies = vec![
+            Body::Shares {
+                task: 3,
+                bundle: ShareBundle {
+                    e: 1,
+                    f: 2,
+                    g: 3,
+                    h: u64::MAX - 1,
+                },
+            },
+            Body::Commit {
+                task: 0,
+                commitments,
+            },
+            Body::Lambda {
+                task: 7,
+                pair: LambdaPsi {
+                    lambda: 42,
+                    psi: 99,
+                },
+                included: vec![true, false, true, true, false],
+            },
+            Body::Disclose {
+                task: 1,
+                f_values: vec![5, 6, 7, 8, 9],
+            },
+            Body::Excluded {
+                task: 2,
+                pair: LambdaPsi {
+                    lambda: 10,
+                    psi: 20,
+                },
+            },
+            Body::PaymentClaim {
+                payments: vec![0, 3, 0, 2, 0],
+            },
+            Body::Abort {
+                reason: AbortReason::InvalidShares { sender: 4 },
+            },
+            Body::Abort {
+                reason: AbortReason::Unresolvable,
+            },
+            Body::Abort {
+                reason: AbortReason::TooManyFaults {
+                    observed: 3,
+                    tolerated: 1,
+                },
+            },
+            Body::Abort {
+                reason: AbortReason::PeerAborted { peer: 2 },
+            },
+        ];
+        (encoding, bodies)
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        let (encoding, bodies) = sample_bodies();
+        for body in bodies {
+            let bytes = body.encode();
+            let decoded = Body::decode(&bytes, &encoding).unwrap_or_else(|e| {
+                panic!("decode failed for {}: {e}", body.kind());
+            });
+            assert_eq!(decoded, body, "{} round trip", body.kind());
+        }
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let (_, bodies) = sample_bodies();
+        for body in bodies {
+            assert_eq!(body.encoded_len(), body.encode().len(), "{}", body.kind());
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (encoding, bodies) = sample_bodies();
+        for body in bodies {
+            let bytes = body.encode();
+            for cut in 0..bytes.len() {
+                let err = Body::decode(&bytes[..cut], &encoding);
+                assert!(
+                    err.is_err(),
+                    "{} decoded from {cut} of {} bytes",
+                    body.kind(),
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (encoding, bodies) = sample_bodies();
+        let mut bytes = bodies[0].encode();
+        bytes.push(0);
+        assert_eq!(
+            Body::decode(&bytes, &encoding),
+            Err(DecodeError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let (encoding, _) = sample_bodies();
+        assert_eq!(
+            Body::decode(&[200], &encoding),
+            Err(DecodeError::BadTag { tag: 200 })
+        );
+        // Bad abort tag.
+        assert_eq!(
+            Body::decode(&[TAG_ABORT, 99], &encoding),
+            Err(DecodeError::BadTag { tag: 99 })
+        );
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected() {
+        let (encoding, _) = sample_bodies();
+        let mut w = Writer::new();
+        w.u8(TAG_DISCLOSE);
+        w.u32(0);
+        w.u32(u32::MAX); // absurd element count
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::LengthOverflow { len: u32::MAX })
+        );
+    }
+
+    #[test]
+    fn wrong_commitment_shape_is_rejected() {
+        let (encoding, _) = sample_bodies();
+        let mut w = Writer::new();
+        w.u8(TAG_COMMIT);
+        w.u32(0);
+        w.u64s(&[1, 2]); // sigma is 5, not 2
+        w.u64s(&[1, 2]);
+        w.u64s(&[1, 2]);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::WrongCommitmentShape)
+        );
+    }
+
+    #[test]
+    fn batch_round_trips_and_rejects_nesting() {
+        let (encoding, bodies) = sample_bodies();
+        let batch = Body::Batch(bodies.clone());
+        let bytes = batch.encode();
+        assert_eq!(bytes.len(), batch.encoded_len());
+        assert_eq!(Body::decode(&bytes, &encoding).unwrap(), batch);
+        // A crafted nested batch is rejected.
+        let inner = Body::Batch(vec![bodies[0].clone()]).encode();
+        let mut w = Writer::new();
+        w.u8(TAG_BATCH);
+        w.u32(1);
+        w.u32(inner.len() as u32);
+        w.buf.extend_from_slice(&inner);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::BadTag { tag: TAG_BATCH })
+        );
+    }
+
+    #[test]
+    fn mask_bit_packing_handles_boundaries() {
+        let (encoding, _) = sample_bodies();
+        for len in [1usize, 7, 8, 9, 16, 17] {
+            let included: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            let body = Body::Lambda {
+                task: 0,
+                pair: LambdaPsi { lambda: 1, psi: 2 },
+                included: included.clone(),
+            };
+            let decoded = Body::decode(&body.encode(), &encoding).unwrap();
+            assert_eq!(decoded, body, "mask length {len}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Phase I — *Initialization*: the published protocol parameters.
+//!
+//! "The parameters `p, q, z1, z2, c, A` and `W` are published" (step I.1).
+//! [`DmwConfig`] bundles exactly those: the Schnorr group `(p, q, z1, z2)`,
+//! the fault threshold `c` (inside [`BidEncoding`] together with `W`), and
+//! the pseudonym set `A = {α_1, …, α_n}` of distinct non-zero elements of
+//! the exponent field.
+
+use crate::error::DmwError;
+use dmw_crypto::BidEncoding;
+use dmw_modmath::SchnorrGroup;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Default bit size of the group modulus `p` used by
+/// [`DmwConfig::generate`]. Large enough to make accidental resolutions
+/// (probability `≈ |W|/q`) negligible in experiments, small enough that a
+/// laptop sweeps thousands of auctions; [`DmwConfig::generate_with_bits`]
+/// exposes the full range for the Table 1 `log p` sweep.
+pub const DEFAULT_P_BITS: u32 = 48;
+
+/// Default bit size of the subgroup order `q`.
+pub const DEFAULT_Q_BITS: u32 = 24;
+
+/// The published parameters of one DMW deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmwConfig {
+    group: SchnorrGroup,
+    encoding: BidEncoding,
+    pseudonyms: Vec<u64>,
+}
+
+impl DmwConfig {
+    /// Generates parameters for `n` agents tolerating `c` faults, with the
+    /// default group sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmwError::Config`] when `(n, c)` admit no bid encoding or
+    /// group generation fails.
+    pub fn generate<R: Rng + ?Sized>(n: usize, c: usize, rng: &mut R) -> Result<Self, DmwError> {
+        Self::generate_with_bits(n, c, DEFAULT_P_BITS, DEFAULT_Q_BITS, rng)
+    }
+
+    /// Generates parameters with explicit group bit sizes — the knob the
+    /// Table 1 computation experiment turns to isolate the `log p` factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmwError::Config`] when the sizes are invalid, the group
+    /// cannot be generated, or `q` is too small to host `n` pseudonyms.
+    pub fn generate_with_bits<R: Rng + ?Sized>(
+        n: usize,
+        c: usize,
+        p_bits: u32,
+        q_bits: u32,
+        rng: &mut R,
+    ) -> Result<Self, DmwError> {
+        let encoding = BidEncoding::new(n, c).map_err(|e| DmwError::Config {
+            reason: e.to_string(),
+        })?;
+        let group = SchnorrGroup::generate(p_bits, q_bits, rng).map_err(|e| DmwError::Config {
+            reason: e.to_string(),
+        })?;
+        if group.q() < encoding.min_group_order() {
+            return Err(DmwError::Config {
+                reason: format!("subgroup order {} cannot host {} pseudonyms", group.q(), n),
+            });
+        }
+        let pseudonyms = group.zq().rand_distinct_nonzero(n, rng);
+        Ok(DmwConfig {
+            group,
+            encoding,
+            pseudonyms,
+        })
+    }
+
+    /// Assembles a configuration from pre-agreed parts (e.g. replayed from
+    /// a published initialization transcript).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmwError::Config`] when the pseudonym set is not `n`
+    /// distinct non-zero residues of `Z_q`.
+    pub fn from_parts(
+        group: SchnorrGroup,
+        encoding: BidEncoding,
+        pseudonyms: Vec<u64>,
+    ) -> Result<Self, DmwError> {
+        if pseudonyms.len() != encoding.agents() {
+            return Err(DmwError::Config {
+                reason: format!(
+                    "{} pseudonyms supplied for {} agents",
+                    pseudonyms.len(),
+                    encoding.agents()
+                ),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &a in &pseudonyms {
+            if a == 0 || a >= group.q() || !seen.insert(a) {
+                return Err(DmwError::Config {
+                    reason: format!("pseudonym {a} is zero, out of range or duplicated"),
+                });
+            }
+        }
+        Ok(DmwConfig {
+            group,
+            encoding,
+            pseudonyms,
+        })
+    }
+
+    /// The Schnorr group `(p, q, z1, z2)`.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// The bid encoding (embeds `c` and `W`).
+    pub fn encoding(&self) -> &BidEncoding {
+        &self.encoding
+    }
+
+    /// The pseudonym set `A`, indexed by agent.
+    pub fn pseudonyms(&self) -> &[u64] {
+        &self.pseudonyms
+    }
+
+    /// Number of agents `n`.
+    pub fn agents(&self) -> usize {
+        self.encoding.agents()
+    }
+
+    /// The pseudonym of one agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn pseudonym(&self, agent: usize) -> u64 {
+        self.pseudonyms[agent]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn generate_produces_consistent_parameters() {
+        let cfg = DmwConfig::generate(6, 1, &mut rng()).unwrap();
+        assert_eq!(cfg.agents(), 6);
+        assert_eq!(cfg.pseudonyms().len(), 6);
+        assert_eq!(cfg.encoding().faults(), 1);
+        // Pseudonyms are distinct non-zero residues of Z_q.
+        let set: std::collections::HashSet<_> = cfg.pseudonyms().iter().collect();
+        assert_eq!(set.len(), 6);
+        assert!(cfg
+            .pseudonyms()
+            .iter()
+            .all(|&a| a > 0 && a < cfg.group().q()));
+    }
+
+    #[test]
+    fn generate_rejects_bad_shapes() {
+        assert!(DmwConfig::generate(2, 1, &mut rng()).is_err());
+        assert!(DmwConfig::generate_with_bits(6, 1, 64, 16, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_pseudonyms() {
+        let cfg = DmwConfig::generate(4, 0, &mut rng()).unwrap();
+        let group = *cfg.group();
+        let encoding = *cfg.encoding();
+        // Valid round-trip.
+        assert!(DmwConfig::from_parts(group, encoding, cfg.pseudonyms().to_vec()).is_ok());
+        // Wrong count.
+        assert!(DmwConfig::from_parts(group, encoding, vec![1, 2]).is_err());
+        // Zero pseudonym.
+        assert!(DmwConfig::from_parts(group, encoding, vec![0, 2, 3, 4]).is_err());
+        // Duplicate.
+        assert!(DmwConfig::from_parts(group, encoding, vec![2, 2, 3, 4]).is_err());
+        // Out of range.
+        assert!(DmwConfig::from_parts(group, encoding, vec![1, 2, 3, group.q()]).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! The DMW message vocabulary (Fig. 2 of the paper).
+//!
+//! Solid arrows in the paper's Fig. 2 are private point-to-point messages
+//! (share bundles); dashed arrows are published messages (commitments,
+//! `Λ/Ψ`, disclosures, excluded pairs, payment claims), implemented as
+//! broadcasts and hence as `n − 1` unicasts each (Theorem 11's cost model).
+//!
+//! Every variant reports its approximate wire size via
+//! [`dmw_simnet::Payload`]; the byte counters feed the communication-cost
+//! experiment.
+
+use crate::error::AbortReason;
+use dmw_crypto::polynomials::ShareBundle;
+use dmw_crypto::resolution::LambdaPsi;
+use dmw_crypto::Commitments;
+use dmw_simnet::Payload;
+use serde::{Deserialize, Serialize};
+
+/// One protocol message. `task` fields index the parallel per-task
+/// auctions; payment claims cover all tasks at once.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Body {
+    /// Phase II.2 (solid arrow): the private share bundle
+    /// `(e_i(α_k), f_i(α_k), g_i(α_k), h_i(α_k))` for one task.
+    Shares {
+        /// Task index.
+        task: usize,
+        /// The four evaluations at the recipient's pseudonym.
+        bundle: ShareBundle,
+    },
+    /// Phase II.3 (dashed arrow): the commitment vectors `O, Q, R`.
+    Commit {
+        /// Task index.
+        task: usize,
+        /// The published commitment triple.
+        commitments: Commitments,
+    },
+    /// Phase III.2 (dashed arrow): the published `(Λ_i, Ψ_i)` pair plus the
+    /// sender's view of which agents' polynomials are included in the sums
+    /// (everyone must agree, or selective share delivery is afoot).
+    Lambda {
+        /// Task index.
+        task: usize,
+        /// The published pair.
+        pair: LambdaPsi,
+        /// `included[ℓ]` = agent `ℓ`'s polynomials are in `E` and `H`.
+        included: Vec<bool>,
+    },
+    /// Phase III.3 (dashed arrow): the sender discloses the `f_ℓ(α_k)`
+    /// values it holds (its own point `α_k`, one value per agent `ℓ`).
+    Disclose {
+        /// Task index.
+        task: usize,
+        /// `f_values[ℓ] = f_ℓ(α_k)` as held by the sender `k`.
+        f_values: Vec<u64>,
+    },
+    /// Phase III.4 (dashed arrow): the winner-excluded `(Λ'_i, Ψ'_i)`.
+    Excluded {
+        /// Task index.
+        task: usize,
+        /// The pair after dividing out the winner's polynomials.
+        pair: LambdaPsi,
+    },
+    /// Phase IV (dashed arrow): the sender's computed payment vector,
+    /// submitted for agreement at the payment infrastructure.
+    PaymentClaim {
+        /// `payments[ℓ]` = claimed payment (in bid units) owed to agent `ℓ`.
+        payments: Vec<u64>,
+    },
+    /// Protocol abort notification: the sender detected a violation and
+    /// terminated (the enforcement mechanism of Theorems 4 and 8).
+    Abort {
+        /// The detected condition.
+        reason: AbortReason,
+    },
+    /// A coalesced container: all of one round's messages to the same
+    /// recipient in a single transmission. Produced only when the runner
+    /// batches (the `ablation-batch` experiment); never nested.
+    Batch(Vec<Body>),
+}
+
+impl Body {
+    /// A short label for traces and Fig. 2 rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Body::Shares { .. } => "shares",
+            Body::Commit { .. } => "commitments",
+            Body::Lambda { .. } => "lambda-psi",
+            Body::Disclose { .. } => "f-disclosure",
+            Body::Excluded { .. } => "excluded-lambda-psi",
+            Body::PaymentClaim { .. } => "payment-claim",
+            Body::Abort { .. } => "abort",
+            Body::Batch(_) => "batch",
+        }
+    }
+
+    /// The task this message belongs to, if task-scoped.
+    pub fn task(&self) -> Option<usize> {
+        match self {
+            Body::Shares { task, .. }
+            | Body::Commit { task, .. }
+            | Body::Lambda { task, .. }
+            | Body::Disclose { task, .. }
+            | Body::Excluded { task, .. } => Some(*task),
+            Body::PaymentClaim { .. } | Body::Abort { .. } | Body::Batch(_) => None,
+        }
+    }
+}
+
+impl Payload for Body {
+    /// The exact wire size of the message under the binary codec of
+    /// [`crate::codec`] — the network statistics therefore count real
+    /// bytes, not estimates.
+    fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_tasks() {
+        let b = Body::Shares {
+            task: 3,
+            bundle: ShareBundle {
+                e: 1,
+                f: 2,
+                g: 3,
+                h: 4,
+            },
+        };
+        assert_eq!(b.kind(), "shares");
+        assert_eq!(b.task(), Some(3));
+        let b = Body::PaymentClaim {
+            payments: vec![1, 2],
+        };
+        assert_eq!(b.kind(), "payment-claim");
+        assert_eq!(b.task(), None);
+        let b = Body::Abort {
+            reason: AbortReason::Unresolvable,
+        };
+        assert_eq!(b.kind(), "abort");
+        assert_eq!(b.task(), None);
+    }
+
+    #[test]
+    fn sizes_scale_with_content() {
+        let small = Body::Disclose {
+            task: 0,
+            f_values: vec![1; 4],
+        };
+        let large = Body::Disclose {
+            task: 0,
+            f_values: vec![1; 16],
+        };
+        assert!(large.size_bytes() > small.size_bytes());
+        // size_bytes is the exact encoded length.
+        assert_eq!(small.size_bytes(), small.encode().len());
+        let shares = Body::Shares {
+            task: 0,
+            bundle: ShareBundle {
+                e: 0,
+                f: 0,
+                g: 0,
+                h: 0,
+            },
+        };
+        assert_eq!(shares.size_bytes(), shares.encode().len());
+    }
+}

@@ -1,0 +1,557 @@
+//! The protocol runner: drives `n` agents over the simulated network.
+//!
+//! [`DmwRunner`] owns the published configuration (Phase I), instantiates
+//! one [`DmwAgent`] per participant, moves their messages through a
+//! [`dmw_simnet::Network`] in synchronous rounds, records the message
+//! trace (Fig. 2), and settles payments through the payment
+//! infrastructure. It is the reproduction's equivalent of "implementing
+//! DMW in a simulated distributed environment" (Section 5).
+
+use crate::agent::{AgentStatus, DmwAgent};
+use crate::config::DmwConfig;
+use crate::error::{AbortReason, DmwError};
+use crate::messages::Body;
+use crate::payment::{settle, Settlement};
+use crate::strategy::{Behavior, VerificationPolicy};
+use crate::trace::TraceEvent;
+use dmw_mechanism::{AgentId, ExecutionTimes, Schedule};
+use dmw_simnet::{FaultPlan, Network, NetworkStats, NodeId, Recipient};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of synchronous protocol rounds (0–4 active, one propagation
+/// round so late aborts reach every agent).
+pub const PROTOCOL_ROUNDS: u64 = 6;
+
+/// The successful outcome of a DMW run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedOutcome {
+    /// The agreed schedule (task → winning agent).
+    pub schedule: Schedule,
+    /// Settled per-agent payments, in bid units.
+    pub payments: Vec<u64>,
+    /// Entries the payment infrastructure withheld for lack of agreement.
+    pub withheld: Vec<bool>,
+    /// Per-task first prices (the winning bids).
+    pub first_prices: Vec<u64>,
+    /// Per-task second prices (the payments per task).
+    pub second_prices: Vec<u64>,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunResult {
+    /// All live agents completed and agreed.
+    Completed(CompletedOutcome),
+    /// The protocol aborted.
+    Aborted {
+        /// The first-detected reason.
+        reason: AbortReason,
+        /// Agents whose own detection (not peer notification) aborted them.
+        detectors: Vec<usize>,
+    },
+}
+
+/// A finished run: result plus observability artifacts.
+#[derive(Debug, Clone)]
+pub struct DmwRun {
+    /// The protocol result.
+    pub result: RunResult,
+    /// Network traffic counters (feeds the Table 1 communication
+    /// experiment).
+    pub network: NetworkStats,
+    /// The full message trace (feeds the Fig. 2 reproduction).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl DmwRun {
+    /// The completed outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmwError::Aborted`] when the run did not complete.
+    pub fn completed(&self) -> Result<&CompletedOutcome, DmwError> {
+        match &self.result {
+            RunResult::Completed(outcome) => Ok(outcome),
+            RunResult::Aborted { reason, .. } => Err(DmwError::Aborted { reason: *reason }),
+        }
+    }
+
+    /// `true` when the protocol completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.result, RunResult::Completed(_))
+    }
+
+    /// The abort reason, if the run aborted.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match &self.result {
+            RunResult::Aborted { reason, .. } => Some(*reason),
+            RunResult::Completed(_) => None,
+        }
+    }
+}
+
+/// Drives DMW protocol runs under a fixed configuration.
+#[derive(Debug, Clone)]
+pub struct DmwRunner {
+    config: DmwConfig,
+    policy: VerificationPolicy,
+    batching: bool,
+}
+
+impl DmwRunner {
+    /// Creates a runner for the published configuration with the default
+    /// rotation verification policy and per-task (unbatched) messages.
+    pub fn new(config: DmwConfig) -> Self {
+        DmwRunner {
+            config,
+            policy: VerificationPolicy::Rotation,
+            batching: false,
+        }
+    }
+
+    /// Sets the verification policy (see [`VerificationPolicy`]).
+    pub fn with_policy(mut self, policy: VerificationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Coalesces each round's messages to the same recipient into one
+    /// [`Body::Batch`] transmission. The paper's Θ(mn²) *message* count is
+    /// an artifact of per-task accounting; batching drops the message
+    /// count to Θ(n²) per run while the byte volume stays Θ(mn²) — the
+    /// `ablation-batch` experiment measures both.
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DmwConfig {
+        &self.config
+    }
+
+    /// Runs the protocol with every agent following the suggested strategy
+    /// and no injected faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmwError`] for shape/bid-range violations; an aborted
+    /// protocol is reported inside the returned [`DmwRun`], not as an
+    /// error.
+    pub fn run_honest<R: Rng + ?Sized>(
+        &self,
+        bids: &ExecutionTimes,
+        rng: &mut R,
+    ) -> Result<DmwRun, DmwError> {
+        let n = self.config.agents();
+        self.run(bids, &vec![Behavior::Suggested; n], FaultPlan::none(n), rng)
+    }
+
+    /// Runs the protocol with per-agent behaviors and a network fault
+    /// plan.
+    ///
+    /// `bids` rows index agents, columns tasks; every entry must lie in
+    /// the bid set `W`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DmwError::ShapeMismatch`] if the matrix does not cover the
+    ///   configured agents;
+    /// * [`DmwError::BidOutOfRange`] for an out-of-range entry;
+    /// * [`DmwError::Config`] if `behaviors` has the wrong length.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        bids: &ExecutionTimes,
+        behaviors: &[Behavior],
+        faults: FaultPlan,
+        rng: &mut R,
+    ) -> Result<DmwRun, DmwError> {
+        let n = self.config.agents();
+        let m = bids.tasks();
+        if bids.agents() != n {
+            return Err(DmwError::ShapeMismatch {
+                agents: bids.agents(),
+                expected_agents: n,
+            });
+        }
+        if behaviors.len() != n {
+            return Err(DmwError::Config {
+                reason: format!("{} behaviors for {} agents", behaviors.len(), n),
+            });
+        }
+        let w_max = self.config.encoding().w_max();
+        for (agent, task, bid) in bids.iter() {
+            if !self.config.encoding().contains_bid(bid) {
+                return Err(DmwError::BidOutOfRange {
+                    agent: agent.0,
+                    task: task.0,
+                    bid,
+                    w_max,
+                });
+            }
+        }
+
+        // A node crashed by the fault plan is invisible to the network
+        // from its crash round on; its *local* state (it will observe
+        // missing traffic and abort) must not be mistaken for a protocol
+        // failure when scanning results below.
+        let crashed: Vec<bool> = (0..n)
+            .map(|i| faults.is_crashed(NodeId(i), PROTOCOL_ROUNDS))
+            .collect();
+
+        let seed: u64 = rng.gen();
+        let mut agents: Vec<DmwAgent> = (0..n)
+            .map(|i| {
+                DmwAgent::with_policy(
+                    self.config.clone(),
+                    i,
+                    bids.agent_row(AgentId(i)).to_vec(),
+                    behaviors[i],
+                    self.policy,
+                    seed,
+                )
+            })
+            .collect();
+        let mut network: Network<Body> = Network::with_faults(n, faults);
+        let mut trace = Vec::new();
+
+        for round in 0..PROTOCOL_ROUNDS {
+            for (i, agent) in agents.iter_mut().enumerate() {
+                let inbox = network.take_inbox(NodeId(i));
+                let outgoing = agent.on_round(round, inbox);
+                let outgoing = if self.batching {
+                    coalesce(outgoing)
+                } else {
+                    outgoing
+                };
+                for (recipient, body) in outgoing {
+                    trace.push(TraceEvent::new(
+                        round,
+                        i,
+                        &recipient,
+                        body.kind(),
+                        body.task(),
+                    ));
+                    match recipient {
+                        Recipient::Unicast(to) => network.send(NodeId(i), to, body),
+                        Recipient::Broadcast => network.broadcast(NodeId(i), body),
+                    }
+                }
+            }
+            network.step();
+        }
+
+        // Any abort (own detection or peer notification) fails the run.
+        let mut detectors = Vec::new();
+        let mut reason = None;
+        for (i, agent) in agents.iter().enumerate() {
+            if crashed[i] {
+                continue;
+            }
+            if let Some(r) = agent.abort_reason() {
+                if !matches!(r, AbortReason::PeerAborted { .. }) {
+                    detectors.push(i);
+                    reason.get_or_insert(r);
+                }
+            }
+        }
+        if reason.is_none() {
+            reason = agents
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !crashed[*i])
+                .find_map(|(_, a)| a.abort_reason());
+        }
+        if let Some(reason) = reason {
+            return Ok(DmwRun {
+                result: RunResult::Aborted { reason, detectors },
+                network: *network.stats(),
+                trace,
+            });
+        }
+
+        // Collect the outcome from the Done agents and assert agreement —
+        // honest agents must have computed identical winners and prices.
+        let done: Vec<&DmwAgent> = agents
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| !crashed[*i] && matches!(a.status(), AgentStatus::Done))
+            .map(|(_, a)| a)
+            .collect();
+        if done.is_empty() {
+            return Ok(DmwRun {
+                result: RunResult::Aborted {
+                    reason: AbortReason::Unresolvable,
+                    detectors: vec![],
+                },
+                network: *network.stats(),
+                trace,
+            });
+        }
+        let reference = done[0];
+        let mut assignment = Vec::with_capacity(m);
+        let mut first_prices = Vec::with_capacity(m);
+        let mut second_prices = Vec::with_capacity(m);
+        for task in 0..m {
+            let winner = reference.winner_of(task).expect("done implies resolved");
+            for other in &done {
+                if other.behavior().is_suggested() {
+                    assert_eq!(
+                        other.winner_of(task),
+                        Some(winner),
+                        "honest agents disagree on the winner of task {task}"
+                    );
+                }
+            }
+            assignment.push(AgentId(winner));
+            first_prices.push(reference.first_price_of(task).expect("resolved"));
+            second_prices.push(reference.second_price_of(task).expect("resolved"));
+        }
+        let schedule = Schedule::from_assignment(n, assignment)?;
+
+        // Phase IV settlement over the submitted claims.
+        let claims: Vec<Vec<u64>> = done
+            .iter()
+            .filter_map(|a| a.claim().map(<[u64]>::to_vec))
+            .collect();
+        let settlement: Settlement = settle(&claims).expect("done agents submitted claims");
+
+        Ok(DmwRun {
+            result: RunResult::Completed(CompletedOutcome {
+                schedule,
+                payments: settlement.payments,
+                withheld: settlement.withheld,
+                first_prices,
+                second_prices,
+            }),
+            network: *network.stats(),
+            trace,
+        })
+    }
+}
+
+/// Coalesces one round's outgoing messages per recipient: a recipient
+/// with more than one pending message receives them as a single
+/// [`Body::Batch`].
+fn coalesce(outgoing: Vec<(Recipient, Body)>) -> Vec<(Recipient, Body)> {
+    let mut groups: Vec<(Recipient, Vec<Body>)> = Vec::new();
+    for (recipient, body) in outgoing {
+        match groups.iter_mut().find(|(r, _)| *r == recipient) {
+            Some((_, bodies)) => bodies.push(body),
+            None => groups.push((recipient, vec![body])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(recipient, mut bodies)| {
+            if bodies.len() == 1 {
+                (recipient, bodies.pop().expect("one body"))
+            } else {
+                (recipient, Body::Batch(bodies))
+            }
+        })
+        .collect()
+}
+
+/// Utility of each agent for a completed run: settled payment minus the
+/// true cost of the tasks it won, in bid units (Definition 6, item 5). For
+/// an aborted run every agent's utility is zero — no tasks are assigned
+/// and no payments are dispensed.
+pub fn utilities(run: &DmwRun, truth: &ExecutionTimes) -> Vec<i128> {
+    let n = truth.agents();
+    match &run.result {
+        RunResult::Aborted { .. } => vec![0; n],
+        RunResult::Completed(outcome) => (0..n)
+            .map(|i| {
+                let load: u64 = outcome
+                    .schedule
+                    .tasks_of(AgentId(i))
+                    .into_iter()
+                    .map(|t| truth.time(AgentId(i), t))
+                    .sum();
+                outcome.payments[i] as i128 - load as i128
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, c: usize, seed: u64) -> (DmwRunner, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let config = DmwConfig::generate(n, c, &mut rng).unwrap();
+        (DmwRunner::new(config), rng)
+    }
+
+    #[test]
+    fn honest_run_matches_centralized_minwork() {
+        let (runner, mut rng) = setup(5, 1, 11);
+        let bids = ExecutionTimes::from_rows(vec![
+            vec![2, 3],
+            vec![1, 3],
+            vec![3, 1],
+            vec![2, 2],
+            vec![3, 3],
+        ])
+        .unwrap();
+        let run = runner.run_honest(&bids, &mut rng).unwrap();
+        let outcome = run.completed().unwrap();
+        // Task 0: winner agent 1 (bid 1), second price 2.
+        // Task 1: winner agent 2 (bid 1), second price 2.
+        assert_eq!(outcome.schedule.agent_of(0.into()), Some(AgentId(1)));
+        assert_eq!(outcome.schedule.agent_of(1.into()), Some(AgentId(2)));
+        assert_eq!(outcome.first_prices, vec![1, 1]);
+        assert_eq!(outcome.second_prices, vec![2, 2]);
+        assert_eq!(outcome.payments, vec![0, 2, 2, 0, 0]);
+        assert!(outcome.withheld.iter().all(|&w| !w));
+    }
+
+    #[test]
+    fn shape_and_range_validation() {
+        let (runner, mut rng) = setup(4, 0, 12);
+        let wrong_agents = ExecutionTimes::from_rows(vec![vec![1], vec![1]]).unwrap();
+        assert!(matches!(
+            runner.run_honest(&wrong_agents, &mut rng),
+            Err(DmwError::ShapeMismatch { .. })
+        ));
+        let out_of_range =
+            ExecutionTimes::from_rows(vec![vec![9], vec![1], vec![1], vec![1]]).unwrap();
+        assert!(matches!(
+            runner.run_honest(&out_of_range, &mut rng),
+            Err(DmwError::BidOutOfRange { .. })
+        ));
+        let bids = ExecutionTimes::from_rows(vec![vec![1], vec![1], vec![1], vec![1]]).unwrap();
+        assert!(matches!(
+            runner.run(
+                &bids,
+                &[Behavior::Suggested; 2],
+                FaultPlan::none(4),
+                &mut rng
+            ),
+            Err(DmwError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_records_all_phases() {
+        let (runner, mut rng) = setup(4, 0, 13);
+        let bids = ExecutionTimes::from_rows(vec![vec![2], vec![1], vec![3], vec![2]]).unwrap();
+        let run = runner.run_honest(&bids, &mut rng).unwrap();
+        assert!(run.is_completed());
+        let kinds: std::collections::HashSet<&str> = run.trace.iter().map(|e| e.kind).collect();
+        for phase in crate::trace::PHASE_ORDER {
+            assert!(kinds.contains(phase), "missing phase {phase}");
+        }
+        // Share bundles travel point-to-point (solid arrows in Fig. 2).
+        assert!(run
+            .trace
+            .iter()
+            .filter(|e| e.kind == "shares")
+            .all(|e| !e.is_broadcast()));
+        // Everything else is published.
+        assert!(run
+            .trace
+            .iter()
+            .filter(|e| e.kind != "shares")
+            .all(|e| e.is_broadcast()));
+    }
+
+    #[test]
+    fn batching_preserves_the_outcome_and_shrinks_message_count() {
+        let (runner, mut rng) = setup(6, 1, 15);
+        let bids = ExecutionTimes::from_rows(vec![
+            vec![2, 3, 1, 4],
+            vec![1, 3, 3, 2],
+            vec![3, 1, 2, 1],
+            vec![2, 2, 3, 3],
+            vec![3, 3, 1, 2],
+            vec![4, 2, 2, 1],
+        ])
+        .unwrap();
+        let plain = runner.run_honest(&bids, &mut rng).unwrap();
+        let batched = runner
+            .clone()
+            .with_batching(true)
+            .run_honest(&bids, &mut rng)
+            .unwrap();
+        let plain_outcome = plain.completed().unwrap();
+        let batched_outcome = batched.completed().unwrap();
+        assert_eq!(plain_outcome.schedule, batched_outcome.schedule);
+        assert_eq!(plain_outcome.payments, batched_outcome.payments);
+        // Far fewer transmissions, comparable bytes.
+        assert!(batched.network.point_to_point * 2 < plain.network.point_to_point);
+        assert!(batched.network.bytes <= plain.network.bytes * 2);
+        // The batched trace shows coalesced containers.
+        assert!(batched.trace.iter().any(|e| e.kind == "batch"));
+        assert!(plain.trace.iter().all(|e| e.kind != "batch"));
+    }
+
+    #[test]
+    fn full_verification_policy_reproduces_the_outcome() {
+        let (runner, mut rng) = setup(5, 1, 16);
+        let bids = ExecutionTimes::from_rows(vec![
+            vec![2, 3],
+            vec![1, 3],
+            vec![3, 1],
+            vec![2, 2],
+            vec![3, 3],
+        ])
+        .unwrap();
+        let rotation = runner.run_honest(&bids, &mut rng).unwrap();
+        let full = runner
+            .clone()
+            .with_policy(crate::strategy::VerificationPolicy::Full)
+            .run_honest(&bids, &mut rng)
+            .unwrap();
+        assert_eq!(
+            rotation.completed().unwrap().schedule,
+            full.completed().unwrap().schedule
+        );
+        assert_eq!(
+            rotation.completed().unwrap().payments,
+            full.completed().unwrap().payments
+        );
+    }
+
+    #[test]
+    fn full_policy_detects_wrong_lambda_at_the_verifier() {
+        // Under Full verification, every agent checks every pair, so a
+        // corrupted lambda is always caught by eq (11) before resolution
+        // can fail mysteriously.
+        let (runner, mut rng) = setup(6, 2, 17);
+        let bids =
+            ExecutionTimes::from_rows(vec![vec![2]; 6]).unwrap();
+        let mut behaviors = vec![Behavior::Suggested; 6];
+        behaviors[2] = Behavior::WrongLambda;
+        let run = runner
+            .clone()
+            .with_policy(crate::strategy::VerificationPolicy::Full)
+            .run(&bids, &behaviors, FaultPlan::none(6), &mut rng)
+            .unwrap();
+        assert!(matches!(
+            run.abort_reason(),
+            Some(AbortReason::InvalidLambdaPsi { publisher: 2 })
+        ));
+    }
+
+    #[test]
+    fn utilities_are_zero_for_aborted_runs() {
+        let (runner, mut rng) = setup(4, 0, 14);
+        let bids = ExecutionTimes::from_rows(vec![vec![2], vec![1], vec![3], vec![2]]).unwrap();
+        let behaviors = [
+            Behavior::Suggested,
+            Behavior::TamperedCommitments,
+            Behavior::Suggested,
+            Behavior::Suggested,
+        ];
+        let run = runner
+            .run(&bids, &behaviors, FaultPlan::none(4), &mut rng)
+            .unwrap();
+        assert!(!run.is_completed());
+        assert_eq!(utilities(&run, &bids), vec![0; 4]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the mechanism crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `dmw-mechanism` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MechanismError {
+    /// A mechanism requires at least two agents (the Vickrey payment
+    /// `min_{i' ≠ i} y_{i'}` is undefined otherwise).
+    TooFewAgents {
+        /// Number of agents supplied.
+        agents: usize,
+    },
+    /// An instance must contain at least one task.
+    NoTasks,
+    /// The rows of an execution-time matrix have inconsistent lengths.
+    RaggedMatrix {
+        /// Index of the first offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// The expected length (taken from row 0).
+        expected: usize,
+    },
+    /// Two matrices that must have identical shape differ.
+    ShapeMismatch {
+        /// Shape of the first matrix as (agents, tasks).
+        left: (usize, usize),
+        /// Shape of the second matrix as (agents, tasks).
+        right: (usize, usize),
+    },
+    /// An agent index was out of range.
+    UnknownAgent {
+        /// The offending index.
+        agent: usize,
+        /// Number of agents in the instance.
+        agents: usize,
+    },
+    /// A task index was out of range.
+    UnknownTask {
+        /// The offending index.
+        task: usize,
+        /// Number of tasks in the instance.
+        tasks: usize,
+    },
+    /// The exact optimal solver refuses instances beyond its search budget.
+    InstanceTooLarge {
+        /// `n^m` search-space size that was rejected.
+        states: u128,
+        /// The solver's limit.
+        limit: u128,
+    },
+    /// Quantization was configured with an invalid level count.
+    InvalidQuantization {
+        /// The offending number of levels.
+        levels: usize,
+    },
+}
+
+impl fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismError::TooFewAgents { agents } => {
+                write!(f, "mechanism requires at least 2 agents, got {agents}")
+            }
+            MechanismError::NoTasks => write!(f, "instance contains no tasks"),
+            MechanismError::RaggedMatrix { row, len, expected } => {
+                write!(f, "row {row} has {len} entries, expected {expected}")
+            }
+            MechanismError::ShapeMismatch { left, right } => {
+                write!(
+                    f,
+                    "matrix shapes differ: {}x{} vs {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
+            }
+            MechanismError::UnknownAgent { agent, agents } => {
+                write!(f, "agent index {agent} out of range for {agents} agents")
+            }
+            MechanismError::UnknownTask { task, tasks } => {
+                write!(f, "task index {task} out of range for {tasks} tasks")
+            }
+            MechanismError::InstanceTooLarge { states, limit } => {
+                write!(
+                    f,
+                    "exact solver search space {states} exceeds the limit {limit}"
+                )
+            }
+            MechanismError::InvalidQuantization { levels } => {
+                write!(f, "quantization needs at least 1 level, got {levels}")
+            }
+        }
+    }
+}
+
+impl Error for MechanismError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_well_behaved() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<MechanismError>();
+        let e = MechanismError::TooFewAgents { agents: 1 };
+        assert!(e.to_string().contains("at least 2 agents"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Instance generators for experiments and tests.
+//!
+//! The paper has no benchmark workloads of its own (it is a theory paper),
+//! so the reproduction defines standard families from the scheduling
+//! literature it cites:
+//!
+//! * [`uniform`] — unrelated machines, i.i.d. times;
+//! * [`related`] — related machines: task `j` has requirement `r_j`,
+//!   machine `i` speed `s_i`, time `⌈r_j / s_i⌉` (the model of Section 2.1,
+//!   `t_i^j = r^j / s_i^j`, restricted to per-machine speeds);
+//! * [`bimodal`] — each machine is a specialist on a random subset of tasks;
+//! * [`adversarial_makespan`] — the family on which MinWork's makespan
+//!   approaches `n ·` optimal, exercising the `n`-approximation bound.
+
+use crate::error::MechanismError;
+use crate::problem::ExecutionTimes;
+use rand::Rng;
+use std::ops::RangeInclusive;
+
+/// Uniformly random times in `range` (unrelated machines).
+///
+/// # Errors
+///
+/// Propagates [`ExecutionTimes::from_rows`] validation (`n ≥ 2`, `m ≥ 1`).
+pub fn uniform<R: Rng + ?Sized>(
+    agents: usize,
+    tasks: usize,
+    range: RangeInclusive<u64>,
+    rng: &mut R,
+) -> Result<ExecutionTimes, MechanismError> {
+    let rows = (0..agents)
+        .map(|_| (0..tasks).map(|_| rng.gen_range(range.clone())).collect())
+        .collect();
+    ExecutionTimes::from_rows(rows)
+}
+
+/// Related machines: task requirements `r_j ∈ req_range`, machine speeds
+/// `s_i ∈ speed_range`, `t_i^j = ⌈r_j / s_i⌉`.
+///
+/// # Errors
+///
+/// Propagates [`ExecutionTimes::from_rows`] validation.
+pub fn related<R: Rng + ?Sized>(
+    agents: usize,
+    tasks: usize,
+    req_range: RangeInclusive<u64>,
+    speed_range: RangeInclusive<u64>,
+    rng: &mut R,
+) -> Result<ExecutionTimes, MechanismError> {
+    assert!(*speed_range.start() >= 1, "speeds must be positive");
+    let reqs: Vec<u64> = (0..tasks)
+        .map(|_| rng.gen_range(req_range.clone()))
+        .collect();
+    let rows = (0..agents)
+        .map(|_| {
+            let s = rng.gen_range(speed_range.clone());
+            reqs.iter().map(|&r| r.div_ceil(s).max(1)).collect()
+        })
+        .collect();
+    ExecutionTimes::from_rows(rows)
+}
+
+/// Bimodal specialists: each entry is `fast` with probability
+/// `specialist_prob`, otherwise `slow`. Models clusters where machines have
+/// task-type affinities; produces the high-variance columns on which
+/// second prices (and hence payments) deviate most from first prices.
+///
+/// # Errors
+///
+/// Propagates [`ExecutionTimes::from_rows`] validation.
+pub fn bimodal<R: Rng + ?Sized>(
+    agents: usize,
+    tasks: usize,
+    fast: u64,
+    slow: u64,
+    specialist_prob: f64,
+    rng: &mut R,
+) -> Result<ExecutionTimes, MechanismError> {
+    assert!(fast <= slow, "fast time must not exceed slow time");
+    let rows = (0..agents)
+        .map(|_| {
+            (0..tasks)
+                .map(|_| {
+                    if rng.gen_bool(specialist_prob) {
+                        fast
+                    } else {
+                        slow
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    ExecutionTimes::from_rows(rows)
+}
+
+/// The adversarial family for the `n`-approximation bound: `m = n` tasks;
+/// agent 0 runs every task in time `base`, every other agent in time
+/// `base + 1`. MinWork assigns *all* tasks to agent 0 (makespan `n · base`)
+/// while the optimum spreads them (makespan `base + 1` for `n ≥ 2`), so the
+/// ratio approaches `n` as `base` grows.
+///
+/// # Errors
+///
+/// Propagates [`ExecutionTimes::from_rows`] validation.
+///
+/// # Example
+/// ```
+/// use dmw_mechanism::{MinWork, generators::adversarial_makespan};
+/// use dmw_mechanism::optimal::optimal_makespan;
+///
+/// let t = adversarial_makespan(4, 100)?;
+/// let mw = MinWork::default().run(&t)?;
+/// let ratio = mw.schedule.makespan(&t)? as f64
+///     / optimal_makespan(&t)?.makespan as f64;
+/// assert!(ratio > 3.9); // approaches n = 4
+/// # Ok::<(), dmw_mechanism::MechanismError>(())
+/// ```
+pub fn adversarial_makespan(agents: usize, base: u64) -> Result<ExecutionTimes, MechanismError> {
+    let tasks = agents;
+    let rows = (0..agents)
+        .map(|i| vec![if i == 0 { base } else { base + 1 }; tasks])
+        .collect();
+    ExecutionTimes::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minwork::MinWork;
+    use crate::problem::{AgentId, TaskId};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn uniform_respects_range_and_shape() {
+        let t = uniform(4, 6, 5..=9, &mut rng()).unwrap();
+        assert_eq!(t.agents(), 4);
+        assert_eq!(t.tasks(), 6);
+        assert!(t.iter().all(|(_, _, v)| (5..=9).contains(&v)));
+    }
+
+    #[test]
+    fn related_machines_have_proportional_rows() {
+        let t = related(3, 5, 10..=100, 1..=4, &mut rng()).unwrap();
+        // Within a row the ordering of tasks follows the requirements, so
+        // any two rows are identically ordered.
+        let r0 = t.agent_row(AgentId(0)).to_vec();
+        let r1 = t.agent_row(AgentId(1)).to_vec();
+        let mut idx: Vec<usize> = (0..5).collect();
+        idx.sort_by_key(|&j| r0[j]);
+        for w in idx.windows(2) {
+            assert!(r1[w[0]] <= r1[w[1]], "row orderings must agree");
+        }
+    }
+
+    #[test]
+    fn bimodal_entries_are_two_valued() {
+        let t = bimodal(3, 8, 2, 50, 0.3, &mut rng()).unwrap();
+        assert!(t.iter().all(|(_, _, v)| v == 2 || v == 50));
+    }
+
+    #[test]
+    fn adversarial_family_achieves_ratio_near_n() {
+        for n in [2usize, 3, 5, 8] {
+            let t = adversarial_makespan(n, 50).unwrap();
+            let mw = MinWork::default().run(&t).unwrap();
+            // All tasks land on agent 0.
+            for j in 0..n {
+                assert_eq!(mw.schedule.agent_of(TaskId(j)), Some(AgentId(0)));
+            }
+            let got = mw.schedule.makespan(&t).unwrap();
+            let opt = crate::optimal::optimal_makespan(&t).unwrap().makespan;
+            let ratio = got as f64 / opt as f64;
+            assert!(
+                ratio > n as f64 * 0.95,
+                "n={n}: ratio {ratio} should approach {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Scheduling-on-unrelated-machines and the centralized **MinWork**
+//! mechanism (Nisan & Ronen 2001), the mechanism that DMW distributes.
+//!
+//! The problem (Section 2.1 of Carroll & Grosu, JPDC 2011): `m ≥ 1`
+//! independent tasks must be scheduled on `n ≥ 2` machines operated by
+//! selfish agents. Agent `A_i` needs `t_i^j` time units for task `T^j`; the
+//! matrix `t` is private. A *mechanism* asks each agent for a bid matrix
+//! `y`, picks a schedule `S(y)` and pays each agent `P_i(y)`; agent `i`'s
+//! utility is `P_i(y) − Σ_{j ∈ S_i} t_i^j`.
+//!
+//! This crate provides:
+//!
+//! * [`problem`] — instance, bid-matrix and schedule types plus objective
+//!   functions (makespan, total work);
+//! * [`vickrey`] — the single-task procurement Vickrey auction;
+//! * [`minwork`] — the MinWork mechanism: one Vickrey auction per task
+//!   (Definition 5 of the paper), truthful and an `n`-approximation of the
+//!   optimal makespan;
+//! * [`optimal`] — an exact makespan minimizer (for measuring approximation
+//!   ratios) and greedy baselines;
+//! * [`audit`] — empirical checkers for truthfulness (Definition 3) and
+//!   voluntary participation (Definition 4);
+//! * [`generators`] — random and adversarial instance families;
+//! * [`quantize`] — mapping continuous execution times onto the discrete
+//!   bid set `W` that DMW requires.
+//!
+//! # Example
+//!
+//! ```
+//! use dmw_mechanism::problem::ExecutionTimes;
+//! use dmw_mechanism::minwork::{MinWork, TieBreak};
+//!
+//! // 3 agents × 2 tasks; entry [i][j] = time agent i needs for task j.
+//! let truth = ExecutionTimes::from_rows(vec![
+//!     vec![2, 9],
+//!     vec![5, 4],
+//!     vec![7, 6],
+//! ])?;
+//! let outcome = MinWork::new(TieBreak::LowestIndex).run(&truth)?;
+//! // Task 0 -> agent 0 (bid 2), paid the second price 5.
+//! // Task 1 -> agent 1 (bid 4), paid the second price 6.
+//! assert_eq!(outcome.schedule.agent_of(0.into()), Some(0.into()));
+//! assert_eq!(outcome.payments[0], 5);
+//! assert_eq!(outcome.payments[1], 6);
+//! # Ok::<(), dmw_mechanism::MechanismError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod error;
+pub mod generators;
+pub mod minwork;
+pub mod objectives;
+pub mod optimal;
+pub mod problem;
+pub mod quantize;
+pub mod randomized;
+pub mod related;
+pub mod vcg;
+pub mod vickrey;
+
+pub use error::MechanismError;
+pub use minwork::{MinWork, TieBreak};
+pub use problem::{AgentId, ExecutionTimes, Outcome, Schedule, TaskId};

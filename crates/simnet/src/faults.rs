@@ -1,0 +1,123 @@
+//! Fault injection for the simulated network.
+//!
+//! DMW tolerates up to `c` faulty agents (Section 3, Notation): below the
+//! threshold the mechanism remains computable, above it resolution fails
+//! (the paper's answer to Feigenbaum–Shenker Open Problem 11). The
+//! resilience ablation drives these fault plans.
+
+use crate::network::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A declarative fault schedule applied by [`crate::Network`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// `crashes[i] = Some(r)` crashes node `i` at the *start* of round `r`:
+    /// from round `r` on, nothing it sends is delivered and nothing reaches
+    /// it.
+    crashes: Vec<Option<u64>>,
+    /// Ordered pairs `(from, to)` whose messages are silently dropped.
+    dropped_links: HashSet<(usize, usize)>,
+    /// Drop every `k`-th transmitted message (deterministic lossy
+    /// network; `None` = lossless).
+    drop_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan for `n` nodes.
+    pub fn none(n: usize) -> Self {
+        FaultPlan {
+            crashes: vec![None; n],
+            dropped_links: HashSet::new(),
+            drop_every: None,
+        }
+    }
+
+    /// Drops every `k`-th transmitted message — a deterministic model of
+    /// a lossy network used by the safety-under-loss tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn drop_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "drop period must be positive");
+        self.drop_every = Some(k);
+        self
+    }
+
+    /// Is the `counter`-th message (1-based) lost to the periodic-drop
+    /// schedule?
+    pub fn is_periodically_dropped(&self, counter: u64) -> bool {
+        matches!(self.drop_every, Some(k) if counter.is_multiple_of(k))
+    }
+
+    /// Schedules `node` to crash at the start of `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn crash_at(mut self, node: NodeId, round: u64) -> Self {
+        assert!(node.0 < self.crashes.len(), "node {} out of range", node.0);
+        self.crashes[node.0] = Some(round);
+        self
+    }
+
+    /// Drops every message from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn drop_link(mut self, from: NodeId, to: NodeId) -> Self {
+        assert!(from.0 < self.crashes.len() && to.0 < self.crashes.len());
+        self.dropped_links.insert((from.0, to.0));
+        self
+    }
+
+    /// Is `node` crashed as of `round`?
+    pub fn is_crashed(&self, node: NodeId, round: u64) -> bool {
+        matches!(self.crashes.get(node.0), Some(Some(r)) if *r <= round)
+    }
+
+    /// Is the directed link `from → to` dropped?
+    pub fn is_link_dropped(&self, from: NodeId, to: NodeId) -> bool {
+        self.dropped_links.contains(&(from.0, to.0))
+    }
+
+    /// Number of nodes that are crashed as of `round`.
+    pub fn crashed_count(&self, round: u64) -> usize {
+        self.crashes
+            .iter()
+            .filter(|c| matches!(c, Some(r) if *r <= round))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_takes_effect_at_round() {
+        let plan = FaultPlan::none(3).crash_at(NodeId(1), 2);
+        assert!(!plan.is_crashed(NodeId(1), 0));
+        assert!(!plan.is_crashed(NodeId(1), 1));
+        assert!(plan.is_crashed(NodeId(1), 2));
+        assert!(plan.is_crashed(NodeId(1), 5));
+        assert!(!plan.is_crashed(NodeId(0), 5));
+        assert_eq!(plan.crashed_count(1), 0);
+        assert_eq!(plan.crashed_count(2), 1);
+    }
+
+    #[test]
+    fn dropped_links_are_directional() {
+        let plan = FaultPlan::none(3).drop_link(NodeId(0), NodeId(1));
+        assert!(plan.is_link_dropped(NodeId(0), NodeId(1)));
+        assert!(!plan.is_link_dropped(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_crash_panics() {
+        let _ = FaultPlan::none(2).crash_at(NodeId(5), 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! The synchronous round-based network core.
+
+use crate::faults::FaultPlan;
+use crate::stats::NetworkStats;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a network node (agent), `0`-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Message destination: one peer or everyone else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Recipient {
+    /// A single peer over the private channel.
+    Unicast(NodeId),
+    /// Every other node (implemented as `n − 1` unicasts, per Theorem 11).
+    Broadcast,
+}
+
+/// Payload size accounting, used for the byte counters of
+/// [`NetworkStats`]. Implementations should return the approximate wire
+/// size of the message.
+pub trait Payload {
+    /// Approximate serialized size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+impl Payload for &str {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for u64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    fn size_bytes(&self) -> usize {
+        self.iter().map(Payload::size_bytes).sum()
+    }
+}
+
+/// A message delivered into a node's inbox.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivered<M> {
+    /// The sender.
+    pub from: NodeId,
+    /// `true` when the message arrived via the broadcast channel.
+    pub broadcast: bool,
+    /// The message body.
+    pub payload: M,
+}
+
+/// One queued transmission.
+#[derive(Debug, Clone)]
+struct InFlight<M> {
+    from: NodeId,
+    to: NodeId,
+    broadcast: bool,
+    payload: M,
+}
+
+/// A synchronous network of `n` nodes with per-round delivery.
+///
+/// Messages enqueued during round `r` are delivered together when
+/// [`Network::step`] is called, becoming visible in round `r + 1` — the
+/// implicit synchronization barrier of protocol step II.4.
+#[derive(Debug)]
+pub struct Network<M> {
+    n: usize,
+    round: u64,
+    pending: Vec<InFlight<M>>,
+    inboxes: Vec<VecDeque<Delivered<M>>>,
+    stats: NetworkStats,
+    faults: FaultPlan,
+    /// Running transmission counter for the periodic-drop schedule.
+    transmissions: u64,
+}
+
+impl<M: Payload + Clone> Network<M> {
+    /// Creates a fault-free network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Self::with_faults(n, FaultPlan::none(n))
+    }
+
+    /// Creates a network with a fault schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_faults(n: usize, faults: FaultPlan) -> Self {
+        assert!(n > 0, "network needs at least one node");
+        Network {
+            n,
+            round: 0,
+            pending: Vec::new(),
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            stats: NetworkStats::default(),
+            faults,
+            transmissions: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the network has no nodes (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The traffic counters.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The fault schedule.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Is `node` crashed in the current round?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.faults.is_crashed(node, self.round)
+    }
+
+    /// Sends a private point-to-point message, delivered at the next
+    /// [`Network::step`]. Messages from or to crashed nodes are counted as
+    /// sent but will be dropped at delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `from == to` (the protocol
+    /// never self-sends; local state is kept locally).
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        assert!(from.0 < self.n && to.0 < self.n, "node out of range");
+        assert_ne!(from, to, "self-sends are local state, not messages");
+        self.stats.point_to_point += 1;
+        self.stats.bytes += payload.size_bytes() as u64;
+        self.pending.push(InFlight {
+            from,
+            to,
+            broadcast: false,
+            payload,
+        });
+    }
+
+    /// Publishes a message to every other node — `n − 1` point-to-point
+    /// transmissions, per the paper's cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn broadcast(&mut self, from: NodeId, payload: M) {
+        assert!(from.0 < self.n, "node out of range");
+        self.stats.broadcasts += 1;
+        for to in 0..self.n {
+            if to == from.0 {
+                continue;
+            }
+            self.stats.point_to_point += 1;
+            self.stats.bytes += payload.size_bytes() as u64;
+            self.pending.push(InFlight {
+                from,
+                to: NodeId(to),
+                broadcast: true,
+                payload: payload.clone(),
+            });
+        }
+    }
+
+    /// Delivers all pending traffic and advances to the next round.
+    /// Returns the number of messages delivered.
+    pub fn step(&mut self) -> u64 {
+        let mut delivered = 0;
+        for msg in std::mem::take(&mut self.pending) {
+            self.transmissions += 1;
+            let lost = self.faults.is_crashed(msg.from, self.round)
+                || self.faults.is_crashed(msg.to, self.round)
+                || self.faults.is_link_dropped(msg.from, msg.to)
+                || self.faults.is_periodically_dropped(self.transmissions);
+            if lost {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.inboxes[msg.to.0].push_back(Delivered {
+                from: msg.from,
+                broadcast: msg.broadcast,
+                payload: msg.payload,
+            });
+            delivered += 1;
+        }
+        self.stats.delivered += delivered;
+        self.stats.rounds += 1;
+        self.round += 1;
+        delivered
+    }
+
+    /// Drains and returns `node`'s inbox (messages delivered by previous
+    /// `step` calls, in arrival order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn take_inbox(&mut self, node: NodeId) -> Vec<Delivered<M>> {
+        assert!(node.0 < self.n, "node out of range");
+        self.inboxes[node.0].drain(..).collect()
+    }
+
+    /// Number of messages waiting in `node`'s inbox without draining it.
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.inboxes[node.0].len()
+    }
+
+    /// `true` when no traffic is pending delivery.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_delivers_next_round() {
+        let mut net: Network<u64> = Network::new(2);
+        net.send(NodeId(0), NodeId(1), 42);
+        assert_eq!(net.inbox_len(NodeId(1)), 0, "not yet delivered");
+        assert!(!net.is_quiescent());
+        assert_eq!(net.step(), 1);
+        let inbox = net.take_inbox(NodeId(1));
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].payload, 42);
+        assert_eq!(inbox[0].from, NodeId(0));
+        assert!(!inbox[0].broadcast);
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_else_and_counts_n_minus_1() {
+        let mut net: Network<u64> = Network::new(5);
+        net.broadcast(NodeId(2), 7);
+        net.step();
+        for i in 0..5 {
+            let inbox = net.take_inbox(NodeId(i));
+            if i == 2 {
+                assert!(inbox.is_empty(), "no self-delivery");
+            } else {
+                assert_eq!(inbox.len(), 1);
+                assert!(inbox[0].broadcast);
+            }
+        }
+        assert_eq!(net.stats().point_to_point, 4);
+        assert_eq!(net.stats().broadcasts, 1);
+        assert_eq!(net.stats().bytes, 4 * 8);
+    }
+
+    #[test]
+    fn crashed_node_traffic_is_dropped() {
+        let plan = FaultPlan::none(3).crash_at(NodeId(1), 0);
+        let mut net: Network<u64> = Network::with_faults(3, plan);
+        net.send(NodeId(0), NodeId(1), 1); // to crashed
+        net.send(NodeId(1), NodeId(2), 2); // from crashed
+        net.send(NodeId(0), NodeId(2), 3); // unaffected
+        net.step();
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        let inbox2 = net.take_inbox(NodeId(2));
+        assert_eq!(inbox2.len(), 1);
+        assert_eq!(inbox2[0].payload, 3);
+        assert_eq!(net.stats().dropped, 2);
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().in_flight(), 0);
+    }
+
+    #[test]
+    fn crash_in_future_round_spares_earlier_traffic() {
+        let plan = FaultPlan::none(2).crash_at(NodeId(0), 1);
+        let mut net: Network<u64> = Network::with_faults(2, plan);
+        net.send(NodeId(0), NodeId(1), 1);
+        net.step(); // round 0: delivered
+        assert_eq!(net.take_inbox(NodeId(1)).len(), 1);
+        net.send(NodeId(0), NodeId(1), 2);
+        net.step(); // round 1: node 0 crashed
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn dropped_link_loses_messages_one_way() {
+        let plan = FaultPlan::none(2).drop_link(NodeId(0), NodeId(1));
+        let mut net: Network<u64> = Network::with_faults(2, plan);
+        net.send(NodeId(0), NodeId(1), 1);
+        net.send(NodeId(1), NodeId(0), 2);
+        net.step();
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        assert_eq!(net.take_inbox(NodeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn inbox_preserves_arrival_order() {
+        let mut net: Network<u64> = Network::new(3);
+        net.send(NodeId(1), NodeId(0), 10);
+        net.send(NodeId(2), NodeId(0), 20);
+        net.step();
+        net.send(NodeId(1), NodeId(0), 30);
+        net.step();
+        let payloads: Vec<u64> = net
+            .take_inbox(NodeId(0))
+            .into_iter()
+            .map(|d| d.payload)
+            .collect();
+        assert_eq!(payloads, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn rounds_advance() {
+        let mut net: Network<u64> = Network::new(2);
+        assert_eq!(net.round(), 0);
+        net.step();
+        net.step();
+        assert_eq!(net.round(), 2);
+        assert_eq!(net.stats().rounds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-sends")]
+    fn self_send_panics() {
+        let mut net: Network<u64> = Network::new(2);
+        net.send(NodeId(0), NodeId(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_send_panics() {
+        let mut net: Network<u64> = Network::new(2);
+        net.send(NodeId(0), NodeId(5), 1);
+    }
+
+    #[test]
+    fn payload_sizes_accumulate() {
+        let mut net: Network<Vec<u64>> = Network::new(2);
+        net.send(NodeId(0), NodeId(1), vec![1, 2, 3]);
+        assert_eq!(net.stats().bytes, 24);
+    }
+}

@@ -1,0 +1,58 @@
+//! Traffic accounting for the simulated network.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative traffic counters for one [`crate::Network`].
+///
+/// `point_to_point` counts every unicast transmission, *including* the
+/// `n − 1` unicasts that implement each broadcast — this is the quantity
+/// Theorem 11 bounds by `Θ(mn²)` for DMW and `Θ(mn)` for centralized
+/// MinWork.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Unicast transmissions enqueued (broadcasts count as `n − 1` each).
+    pub point_to_point: u64,
+    /// Broadcast *events* (each also contributes `n − 1` to
+    /// `point_to_point`).
+    pub broadcasts: u64,
+    /// Total payload bytes enqueued.
+    pub bytes: u64,
+    /// Messages actually delivered (sent minus those lost to crashes or
+    /// dropped links).
+    pub delivered: u64,
+    /// Messages lost to fault injection.
+    pub dropped: u64,
+    /// Synchronous rounds stepped.
+    pub rounds: u64,
+}
+
+impl NetworkStats {
+    /// Messages still in flight (enqueued but neither delivered nor
+    /// dropped).
+    pub fn in_flight(&self) -> u64 {
+        self.point_to_point - self.delivered - self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = NetworkStats::default();
+        assert_eq!(s.point_to_point, 0);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_accounts_for_losses() {
+        let s = NetworkStats {
+            point_to_point: 10,
+            delivered: 6,
+            dropped: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.in_flight(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use dmw::config::DmwConfig;
+use dmw_mechanism::ExecutionTimes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for a test case.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generates a protocol configuration with default group sizes.
+///
+/// # Panics
+///
+/// Panics on invalid `(n, c)` — tests pass valid shapes.
+pub fn config(n: usize, c: usize, rng: &mut StdRng) -> DmwConfig {
+    DmwConfig::generate(n, c, rng).expect("valid test configuration")
+}
+
+/// A uniform random bid matrix within the configuration's bid set.
+///
+/// # Panics
+///
+/// Panics on invalid shapes — tests pass valid shapes.
+pub fn random_bids(config: &DmwConfig, m: usize, rng: &mut StdRng) -> ExecutionTimes {
+    dmw_mechanism::generators::uniform(config.agents(), m, 1..=config.encoding().w_max(), rng)
+        .expect("valid test instance")
+}
+
+/// The centralized MinWork reference outcome with DMW's tie-break rule.
+///
+/// # Panics
+///
+/// Panics on shape errors — tests pass valid shapes.
+pub fn centralized_reference(bids: &ExecutionTimes) -> dmw_mechanism::Outcome {
+    dmw_mechanism::MinWork::new(dmw_mechanism::TieBreak::LowestIndex)
+        .run(bids)
+        .expect("valid matrix")
+}

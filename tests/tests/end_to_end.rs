@@ -1,0 +1,112 @@
+//! Larger end-to-end scenarios: the full pipeline from continuous machine
+//! times through quantization, the distributed auction, settlement and
+//! objective evaluation — plus scaling smoke tests.
+
+use dmw::runner::{utilities, DmwRunner};
+use dmw_mechanism::optimal::{greedy_makespan, min_total_work};
+use dmw_mechanism::quantize::Quantizer;
+use dmw_mechanism::{AgentId, TaskId};
+use integration_tests::{config, random_bids, rng};
+use rand::Rng;
+
+#[test]
+fn continuous_pipeline_produces_consistent_economy() {
+    let mut r = rng(5000);
+    let n = 8;
+    let m = 6;
+    let cfg = config(n, 1, &mut r);
+    // Continuous times, quantized onto W.
+    let times: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..m).map(|_| r.gen_range(1.0..50.0)).collect())
+        .collect();
+    let quantizer = Quantizer::fit(&times, cfg.encoding().w_max() as usize).unwrap();
+    let bids = quantizer.quantize(&times).unwrap();
+    let run = DmwRunner::new(cfg).run_honest(&bids, &mut r).unwrap();
+    let outcome = run.completed().unwrap();
+    // Every task assigned exactly once; payments only to winners; winner
+    // utility non-negative in bid units.
+    let us = utilities(&run, &bids);
+    for (i, &u) in us.iter().enumerate() {
+        if outcome.schedule.tasks_of(AgentId(i)).is_empty() {
+            assert_eq!(outcome.payments[i], 0, "loser {i} paid");
+        }
+        assert!(u >= 0, "agent {i} lost {u}");
+    }
+    // MinWork minimizes total work: compare to the direct baseline.
+    let baseline = min_total_work(&bids).unwrap();
+    assert_eq!(
+        outcome.schedule.total_work(&bids).unwrap(),
+        baseline.schedule.total_work(&bids).unwrap()
+    );
+}
+
+#[test]
+fn scales_to_sixteen_agents_and_eight_tasks() {
+    let mut r = rng(5001);
+    let n = 16;
+    let m = 8;
+    let cfg = config(n, 2, &mut r);
+    let bids = random_bids(&cfg, m, &mut r);
+    let run = DmwRunner::new(cfg).run_honest(&bids, &mut r).unwrap();
+    let outcome = run.completed().unwrap();
+    assert_eq!(outcome.schedule.tasks(), m);
+    // Traffic is Theta(m n^2): sanity-check the constant is sane.
+    let mn2 = (m * n * n) as u64;
+    assert!(run.network.point_to_point > mn2, "at least one mn^2");
+    assert!(run.network.point_to_point < 8 * mn2, "within 8x mn^2");
+}
+
+#[test]
+fn makespan_objective_is_n_approximated_in_practice() {
+    // MinWork optimizes total work, paying up to a factor n in makespan;
+    // on random instances the factor is small. Compare against the greedy
+    // makespan heuristic as a proxy for the optimum at this size.
+    let mut r = rng(5002);
+    let n = 6;
+    let cfg = config(n, 1, &mut r);
+    let bids = random_bids(&cfg, 6, &mut r);
+    let run = DmwRunner::new(cfg).run_honest(&bids, &mut r).unwrap();
+    let outcome = run.completed().unwrap();
+    let dmw_makespan = outcome.schedule.makespan(&bids).unwrap();
+    let greedy = greedy_makespan(&bids).unwrap();
+    assert!(
+        dmw_makespan <= (n as u64) * greedy.makespan,
+        "makespan {dmw_makespan} beyond n x greedy {}",
+        greedy.makespan
+    );
+}
+
+#[test]
+fn repeated_runs_are_reproducible_with_the_same_seed() {
+    let build = |seed: u64| {
+        let mut r = rng(seed);
+        let cfg = config(6, 1, &mut r);
+        let bids = random_bids(&cfg, 3, &mut r);
+        let run = DmwRunner::new(cfg).run_honest(&bids, &mut r).unwrap();
+        let o = run.completed().unwrap().clone();
+        (o.schedule, o.payments, run.network.point_to_point)
+    };
+    assert_eq!(build(7777), build(7777));
+}
+
+#[test]
+fn every_task_has_exactly_one_winner_and_consistent_prices() {
+    let mut r = rng(5003);
+    let cfg = config(9, 2, &mut r);
+    let bids = random_bids(&cfg, 5, &mut r);
+    let run = DmwRunner::new(cfg).run_honest(&bids, &mut r).unwrap();
+    let outcome = run.completed().unwrap();
+    for j in 0..5 {
+        let winner = outcome.schedule.agent_of(TaskId(j)).unwrap();
+        // The winner bid the first price.
+        assert_eq!(bids.time(winner, TaskId(j)), outcome.first_prices[j]);
+        // The second price is the minimum over the others.
+        let second = (0..9)
+            .filter(|&i| AgentId(i) != winner)
+            .map(|i| bids.time(AgentId(i), TaskId(j)))
+            .min()
+            .unwrap();
+        assert_eq!(outcome.second_prices[j], second);
+        assert!(outcome.second_prices[j] >= outcome.first_prices[j]);
+    }
+}

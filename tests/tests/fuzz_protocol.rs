@@ -1,0 +1,122 @@
+//! Whole-protocol fuzzing: random behavior mixes, random faults, lossy
+//! networks. The safety property under every perturbation is the same:
+//! **the protocol never completes with a wrong outcome** — it either
+//! computes exactly the centralized MinWork result of the committed bids
+//! or aborts, and agents following the suggested strategy never end up
+//! with negative utility.
+
+use dmw::runner::{utilities, DmwRunner};
+use dmw::Behavior;
+use dmw_simnet::{FaultPlan, NodeId};
+use integration_tests::{centralized_reference, config, random_bids, rng};
+use proptest::prelude::*;
+
+/// The behavior catalogue as a proptest strategy (index into it).
+fn any_behavior(n: usize) -> impl Strategy<Value = Behavior> {
+    (0usize..=10).prop_map(move |k| {
+        if k == 0 {
+            Behavior::Suggested
+        } else {
+            Behavior::catalogue(n, 0)[k - 1]
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn random_behavior_mixes_are_safe(
+        seed in 0u64..100_000,
+        b1 in any_behavior(6),
+        b2 in any_behavior(6),
+    ) {
+        let mut r = rng(seed);
+        let n = 6;
+        let cfg = config(n, 2, &mut r);
+        let truth = random_bids(&cfg, 2, &mut r);
+        // Two random behaviors at random positions, rest suggested.
+        let mut behaviors = vec![Behavior::Suggested; n];
+        behaviors[1] = b1;
+        behaviors[4] = b2;
+        let run = DmwRunner::new(cfg)
+            .run(&truth, &behaviors, FaultPlan::none(n), &mut r)
+            .unwrap();
+        let us = utilities(&run, &truth);
+        // Compliant agents never lose, completed or not.
+        for i in [0usize, 2, 3, 5] {
+            prop_assert!(us[i] >= 0, "compliant agent {i} lost {}", us[i]);
+        }
+        if run.is_completed() {
+            let outcome = run.completed().unwrap();
+            // Silent deviators are excluded from the auction; everyone
+            // else's bids were committed. Check per-task Vickrey
+            // consistency over the participating set.
+            let silent = |b: Behavior| matches!(b, Behavior::Silent);
+            let participants: Vec<usize> =
+                (0..n).filter(|&i| !silent(behaviors[i])).collect();
+            for j in 0..2 {
+                let winner = outcome.schedule.agent_of(j.into()).unwrap();
+                prop_assert!(participants.contains(&winner.0), "silent agent won");
+                let min = participants
+                    .iter()
+                    .map(|&i| truth.time(i.into(), j.into()))
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(outcome.first_prices[j], min, "task {}", j);
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_networks_never_produce_wrong_outcomes(
+        seed in 0u64..100_000,
+        k in 2u64..40,
+    ) {
+        let mut r = rng(seed);
+        let n = 5;
+        let cfg = config(n, 1, &mut r);
+        let bids = random_bids(&cfg, 2, &mut r);
+        let plan = FaultPlan::none(n).drop_every(k);
+        let run = DmwRunner::new(cfg)
+            .run(&bids, &vec![Behavior::Suggested; n], plan, &mut r)
+            .unwrap();
+        if let Ok(outcome) = run.completed() {
+            // Completion under loss is only acceptable if the answer is
+            // exactly right.
+            let reference = centralized_reference(&bids);
+            prop_assert_eq!(&outcome.schedule, &reference.schedule);
+            prop_assert_eq!(&outcome.payments, &reference.payments);
+        }
+    }
+
+    #[test]
+    fn random_crash_schedules_are_safe(
+        seed in 0u64..100_000,
+        victim in 0usize..7,
+        round in 0u64..5,
+    ) {
+        let mut r = rng(seed);
+        let n = 7;
+        let cfg = config(n, 1, &mut r);
+        let bids = random_bids(&cfg, 2, &mut r);
+        let plan = FaultPlan::none(n).crash_at(NodeId(victim), round);
+        let run = DmwRunner::new(cfg)
+            .run(&bids, &vec![Behavior::Suggested; n], plan, &mut r)
+            .unwrap();
+        if let Ok(outcome) = run.completed() {
+            // A single crash is within budget (c = 1). The completed
+            // outcome must be Vickrey-consistent over the agents whose
+            // bids entered the auction (everyone who finished bidding).
+            for j in 0..2 {
+                let winner = outcome.schedule.agent_of(j.into()).unwrap();
+                let winner_bid = bids.time(winner, j.into());
+                prop_assert_eq!(winner_bid, outcome.first_prices[j]);
+                prop_assert!(outcome.second_prices[j] >= outcome.first_prices[j]);
+            }
+            // Compliant utilities non-negative.
+            for u in utilities(&run, &bids) {
+                prop_assert!(u >= 0);
+            }
+        }
+    }
+}

