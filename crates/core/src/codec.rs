@@ -126,17 +126,23 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        let end = self.pos + 4;
-        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
-        self.pos = end;
-        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+        let bytes: [u8; 4] = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        let end = self.pos + 8;
-        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
-        self.pos = end;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] = self
+            .buf
+            .get(self.pos..self.pos + 8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn u64s(&mut self) -> Result<Vec<u64>, DecodeError> {
@@ -158,8 +164,12 @@ impl<'a> Reader<'a> {
             .get(self.pos..self.pos + bytes)
             .ok_or(DecodeError::Truncated)?;
         self.pos += bytes;
-        Ok((0..len as usize)
-            .map(|i| slice[i / 8] & (1 << (i % 8)) != 0)
+        // Bit i lives in byte i / 8 at position i % 8; expanding every
+        // byte and truncating to `len` avoids indexed access entirely.
+        Ok(slice
+            .iter()
+            .flat_map(|&byte| (0u32..8).map(move |bit| byte & (1 << bit) != 0))
+            .take(len as usize)
             .collect())
     }
 
@@ -180,6 +190,7 @@ const TAG_EXCLUDED: u8 = 5;
 const TAG_PAYMENT: u8 = 6;
 const TAG_ABORT: u8 = 7;
 const TAG_BATCH: u8 = 8;
+const TAG_WINNER_CLAIM: u8 = 9;
 
 fn encode_abort(reason: &AbortReason, w: &mut Writer) {
     match reason {
@@ -288,6 +299,16 @@ impl Body {
                 w.u32(*task as u32);
                 w.u64s(f_values);
             }
+            Body::WinnerClaim { task, points } => {
+                w.u8(TAG_WINNER_CLAIM);
+                w.u32(*task as u32);
+                w.u32(points.len() as u32);
+                for &(agent, f, h) in points {
+                    w.u32(agent as u32);
+                    w.u64(f);
+                    w.u64(h);
+                }
+            }
             Body::Excluded { task, pair } => {
                 w.u8(TAG_EXCLUDED);
                 w.u32(*task as u32);
@@ -330,6 +351,7 @@ impl Body {
             }
             Body::Lambda { included, .. } => 1 + 4 + 2 * 8 + 4 + included.len().div_ceil(8),
             Body::Disclose { f_values, .. } => 1 + 4 + 4 + f_values.len() * 8,
+            Body::WinnerClaim { points, .. } => 1 + 4 + 4 + points.len() * (4 + 2 * 8),
             Body::Excluded { .. } => 1 + 4 + 2 * 8,
             Body::PaymentClaim { payments } => 1 + 4 + payments.len() * 8,
             Body::Abort { reason } => {
@@ -339,7 +361,12 @@ impl Body {
                         | AbortReason::NoWinner
                         | AbortReason::PaymentDisagreement => 0,
                         AbortReason::TooManyFaults { .. } => 8,
-                        _ => 4,
+                        AbortReason::InvalidShares { .. }
+                        | AbortReason::InvalidLambdaPsi { .. }
+                        | AbortReason::InconsistentMask { .. }
+                        | AbortReason::InvalidDisclosure { .. }
+                        | AbortReason::InvalidExcluded { .. }
+                        | AbortReason::PeerAborted { .. } => 4,
                     }
             }
             Body::Batch(bodies) => {
@@ -389,6 +416,18 @@ impl Body {
                 task: r.u32()? as usize,
                 f_values: r.u64s()?,
             },
+            TAG_WINNER_CLAIM => {
+                let task = r.u32()? as usize;
+                let count = r.u32()?;
+                if count > MAX_VEC {
+                    return Err(DecodeError::LengthOverflow { len: count });
+                }
+                let mut points = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    points.push((r.u32()? as usize, r.u64()?, r.u64()?));
+                }
+                Body::WinnerClaim { task, points }
+            }
             TAG_EXCLUDED => Body::Excluded {
                 task: r.u32()? as usize,
                 pair: LambdaPsi {
@@ -468,6 +507,10 @@ mod tests {
                 task: 1,
                 f_values: vec![5, 6, 7, 8, 9],
             },
+            Body::WinnerClaim {
+                task: 0,
+                points: vec![(3, 11, 12), (4, 13, u64::MAX)],
+            },
             Body::Excluded {
                 task: 2,
                 pair: LambdaPsi {
@@ -530,6 +573,35 @@ mod tests {
                     body.kind(),
                     bytes.len()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic_and_errors_are_typed() {
+        // Flip bits at every byte position of every message type: decode
+        // must stay total — either a typed `DecodeError` or a valid
+        // reinterpretation, never a panic or a truncating crash.
+        let (encoding, bodies) = sample_bodies();
+        assert_eq!(
+            Body::decode(&[], &encoding),
+            Err(DecodeError::Truncated),
+            "empty input"
+        );
+        for body in bodies {
+            let bytes = body.encode();
+            for i in 0..bytes.len() {
+                for flip in [0x01u8, 0x80, 0xFF] {
+                    let mut corrupt = bytes.clone();
+                    corrupt[i] ^= flip;
+                    if let Err(e) = Body::decode(&corrupt, &encoding) {
+                        assert!(
+                            !e.to_string().is_empty(),
+                            "{} error must describe itself",
+                            body.kind()
+                        );
+                    }
+                }
             }
         }
     }

@@ -54,6 +54,19 @@ pub enum Body {
         /// `f_values[ℓ] = f_ℓ(α_k)` as held by the sender `k`.
         f_values: Vec<u64>,
     },
+    /// Phase III.3 fallback (dashed arrow): crashes before bidding can
+    /// leave fewer live share points than winner identification needs
+    /// (`y* + c + 1`). An agent whose own bid equals the resolved first
+    /// price then supplements identification with its polynomial's
+    /// evaluations at the missing pseudonyms; verifiers bind each claimed
+    /// pair to the claimant's published `R` commitments via equation (9).
+    WinnerClaim {
+        /// Task index.
+        task: usize,
+        /// `(agent, f, h)` per missing point: `f = f_me(α_agent)` and
+        /// `h = h_me(α_agent)` for each non-live agent `agent`.
+        points: Vec<(usize, u64, u64)>,
+    },
     /// Phase III.4 (dashed arrow): the winner-excluded `(Λ'_i, Ψ'_i)`.
     Excluded {
         /// Task index.
@@ -87,6 +100,7 @@ impl Body {
             Body::Commit { .. } => "commitments",
             Body::Lambda { .. } => "lambda-psi",
             Body::Disclose { .. } => "f-disclosure",
+            Body::WinnerClaim { .. } => "winner-claim",
             Body::Excluded { .. } => "excluded-lambda-psi",
             Body::PaymentClaim { .. } => "payment-claim",
             Body::Abort { .. } => "abort",
@@ -101,6 +115,7 @@ impl Body {
             | Body::Commit { task, .. }
             | Body::Lambda { task, .. }
             | Body::Disclose { task, .. }
+            | Body::WinnerClaim { task, .. }
             | Body::Excluded { task, .. } => Some(*task),
             Body::PaymentClaim { .. } | Body::Abort { .. } | Body::Batch(_) => None,
         }

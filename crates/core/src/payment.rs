@@ -57,21 +57,26 @@ pub fn settle(claims: &[Vec<u64>]) -> Option<Settlement> {
         claims.iter().all(|c| c.len() == n),
         "claims must cover all agents"
     );
-    let mut payments = vec![0u64; n];
-    let mut withheld = vec![false; n];
+    let mut payments = Vec::with_capacity(n);
+    let mut withheld = Vec::with_capacity(n);
     for i in 0..n {
         let mut votes: HashMap<u64, usize> = HashMap::new();
-        for claim in claims {
-            *votes.entry(claim[i]).or_insert(0) += 1;
+        for &value in claims.iter().filter_map(|c| c.get(i)) {
+            *votes.entry(value).or_insert(0) += 1;
         }
-        let (value, count) = votes
+        let majority = votes
             .into_iter()
             .max_by_key(|&(_, count)| count)
-            .expect("at least one claim");
-        if count * 2 > claims.len() {
-            payments[i] = value;
-        } else {
-            withheld[i] = true;
+            .filter(|&(_, count)| count * 2 > claims.len());
+        match majority {
+            Some((value, _)) => {
+                payments.push(value);
+                withheld.push(false);
+            }
+            None => {
+                payments.push(0);
+                withheld.push(true);
+            }
         }
     }
     Some(Settlement { payments, withheld })

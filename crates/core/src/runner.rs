@@ -11,7 +11,7 @@ use crate::agent::{AgentStatus, DmwAgent};
 use crate::config::DmwConfig;
 use crate::error::{AbortReason, DmwError};
 use crate::messages::Body;
-use crate::payment::{settle, Settlement};
+use crate::payment::settle;
 use crate::strategy::{Behavior, VerificationPolicy};
 use crate::trace::TraceEvent;
 use dmw_mechanism::{AgentId, ExecutionTimes, Schedule};
@@ -201,13 +201,16 @@ impl DmwRunner {
             .collect();
 
         let seed: u64 = rng.gen();
-        let mut agents: Vec<DmwAgent> = (0..n)
-            .map(|i| {
+        let mut agents: Vec<DmwAgent> = behaviors
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, behavior)| {
                 DmwAgent::with_policy(
                     self.config.clone(),
                     i,
                     bids.agent_row(AgentId(i)).to_vec(),
-                    behaviors[i],
+                    behavior,
                     self.policy,
                     seed,
                 )
@@ -245,8 +248,8 @@ impl DmwRunner {
         // Any abort (own detection or peer notification) fails the run.
         let mut detectors = Vec::new();
         let mut reason = None;
-        for (i, agent) in agents.iter().enumerate() {
-            if crashed[i] {
+        for (i, (agent, &is_crashed)) in agents.iter().zip(&crashed).enumerate() {
+            if is_crashed {
                 continue;
             }
             if let Some(r) = agent.abort_reason() {
@@ -259,9 +262,9 @@ impl DmwRunner {
         if reason.is_none() {
             reason = agents
                 .iter()
-                .enumerate()
-                .filter(|(i, _)| !crashed[*i])
-                .find_map(|(_, a)| a.abort_reason());
+                .zip(&crashed)
+                .filter(|(_, &is_crashed)| !is_crashed)
+                .find_map(|(a, _)| a.abort_reason());
         }
         if let Some(reason) = reason {
             return Ok(DmwRun {
@@ -275,26 +278,37 @@ impl DmwRunner {
         // honest agents must have computed identical winners and prices.
         let done: Vec<&DmwAgent> = agents
             .iter()
-            .enumerate()
-            .filter(|(i, a)| !crashed[*i] && matches!(a.status(), AgentStatus::Done))
-            .map(|(_, a)| a)
+            .zip(&crashed)
+            .filter(|(a, &is_crashed)| !is_crashed && matches!(a.status(), AgentStatus::Done))
+            .map(|(a, _)| a)
             .collect();
-        if done.is_empty() {
-            return Ok(DmwRun {
+        let unresolvable = |trace: Vec<TraceEvent>, stats| {
+            Ok(DmwRun {
                 result: RunResult::Aborted {
                     reason: AbortReason::Unresolvable,
                     detectors: vec![],
                 },
-                network: *network.stats(),
+                network: stats,
                 trace,
-            });
-        }
-        let reference = done[0];
+            })
+        };
+        let Some(reference) = done.first() else {
+            return unresolvable(trace, *network.stats());
+        };
         let mut assignment = Vec::with_capacity(m);
         let mut first_prices = Vec::with_capacity(m);
         let mut second_prices = Vec::with_capacity(m);
         for task in 0..m {
-            let winner = reference.winner_of(task).expect("done implies resolved");
+            // A Done agent has resolved every task; a gap here is an
+            // internal inconsistency and is surfaced as Unresolvable
+            // rather than crashing the harness.
+            let (Some(winner), Some(first), Some(second)) = (
+                reference.winner_of(task),
+                reference.first_price_of(task),
+                reference.second_price_of(task),
+            ) else {
+                return unresolvable(trace, *network.stats());
+            };
             for other in &done {
                 if other.behavior().is_suggested() {
                     assert_eq!(
@@ -305,8 +319,8 @@ impl DmwRunner {
                 }
             }
             assignment.push(AgentId(winner));
-            first_prices.push(reference.first_price_of(task).expect("resolved"));
-            second_prices.push(reference.second_price_of(task).expect("resolved"));
+            first_prices.push(first);
+            second_prices.push(second);
         }
         let schedule = Schedule::from_assignment(n, assignment)?;
 
@@ -315,7 +329,9 @@ impl DmwRunner {
             .iter()
             .filter_map(|a| a.claim().map(<[u64]>::to_vec))
             .collect();
-        let settlement: Settlement = settle(&claims).expect("done agents submitted claims");
+        let Some(settlement) = settle(&claims) else {
+            return unresolvable(trace, *network.stats());
+        };
 
         Ok(DmwRun {
             result: RunResult::Completed(CompletedOutcome {
@@ -346,10 +362,11 @@ fn coalesce(outgoing: Vec<(Recipient, Body)>) -> Vec<(Recipient, Body)> {
         .into_iter()
         .map(|(recipient, mut bodies)| {
             if bodies.len() == 1 {
-                (recipient, bodies.pop().expect("one body"))
-            } else {
-                (recipient, Body::Batch(bodies))
+                if let Some(only) = bodies.pop() {
+                    return (recipient, only);
+                }
             }
+            (recipient, Body::Batch(bodies))
         })
         .collect()
 }
@@ -370,7 +387,8 @@ pub fn utilities(run: &DmwRun, truth: &ExecutionTimes) -> Vec<i128> {
                     .into_iter()
                     .map(|t| truth.time(AgentId(i), t))
                     .sum();
-                outcome.payments[i] as i128 - load as i128
+                let payment = outcome.payments.get(i).copied().unwrap_or(0);
+                payment as i128 - load as i128
             })
             .collect(),
     }
@@ -523,8 +541,7 @@ mod tests {
         // corrupted lambda is always caught by eq (11) before resolution
         // can fail mysteriously.
         let (runner, mut rng) = setup(6, 2, 17);
-        let bids =
-            ExecutionTimes::from_rows(vec![vec![2]; 6]).unwrap();
+        let bids = ExecutionTimes::from_rows(vec![vec![2]; 6]).unwrap();
         let mut behaviors = vec![Behavior::Suggested; 6];
         behaviors[2] = Behavior::WrongLambda;
         let run = runner

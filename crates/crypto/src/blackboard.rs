@@ -83,12 +83,12 @@ pub fn honest_auction<R: Rng + ?Sized>(
         .map(|p| Commitments::commit(group, encoding, p))
         .collect();
 
-    // Phase III.1: every agent verifies every received bundle.
-    for (receiver, &alpha) in alphas.iter().enumerate() {
-        for (sender, poly) in polys.iter().enumerate() {
+    // Phase III.1: every agent verifies every received bundle (every
+    // receiver checks every sender, itself included).
+    for &alpha in &alphas {
+        for (poly, comm) in polys.iter().zip(&commitments) {
             let bundle = poly.share_for(&zq, alpha);
-            let _ = receiver; // every receiver checks every sender, itself included
-            verify_shares(group, &commitments[sender], alpha, &bundle)?;
+            verify_shares(group, comm, alpha, &bundle)?;
         }
     }
 
@@ -101,8 +101,8 @@ pub fn honest_auction<R: Rng + ?Sized>(
             compute_lambda_psi(group, &e_shares, &h_shares)
         })
         .collect();
-    for (i, pair) in pairs.iter().enumerate() {
-        verify_lambda_psi(group, &commitments, i, alphas[i], pair, None)?;
+    for (i, (pair, &alpha)) in pairs.iter().zip(&alphas).enumerate() {
+        verify_lambda_psi(group, &commitments, i, alpha, pair, None)?;
     }
 
     // First-price resolution (equation (12)).
@@ -112,33 +112,37 @@ pub fn honest_auction<R: Rng + ?Sized>(
     // Phase III.3: f-share disclosure (equation (13)) and winner
     // identification (equation (14)).
     let needed = encoding.winner_points(first.bid);
-    for k in 0..needed {
-        let disclosed: Vec<u64> = polys.iter().map(|p| p.f().eval(&zq, alphas[k])).collect();
-        verify_f_disclosure(group, &commitments, k, alphas[k], &disclosed, pairs[k].psi)?;
+    let disclosed_alphas: Vec<u64> = alphas.iter().copied().take(needed).collect();
+    for (k, (&alpha, pair)) in disclosed_alphas.iter().zip(&pairs).enumerate() {
+        let disclosed: Vec<u64> = polys.iter().map(|p| p.f().eval(&zq, alpha)).collect();
+        verify_f_disclosure(group, &commitments, k, alpha, &disclosed, pair.psi)?;
     }
     let f_columns: Vec<Vec<u64>> = polys
         .iter()
         .map(|p| {
-            alphas[..needed]
+            disclosed_alphas
                 .iter()
                 .map(|&a| p.f().eval(&zq, a))
                 .collect()
         })
         .collect();
-    let winner = identify_winner(group, encoding, first.bid, &alphas[..needed], &f_columns)?;
+    let winner = identify_winner(group, encoding, first.bid, &disclosed_alphas, &f_columns)?;
 
     // Phase III.4: exclusion and second-price resolution (equation (15)).
+    // `identify_winner` returns an index into `f_columns`, which has one
+    // column per agent, so the lookup cannot miss.
+    let winner_poly = polys.get(winner).ok_or(CryptoError::NoWinner)?;
     let excluded: Vec<LambdaPsi> = pairs
         .iter()
-        .enumerate()
-        .map(|(i, pair)| {
-            let e_star = polys[winner].e().eval(&zq, alphas[i]);
-            let h_star = polys[winner].h().eval(&zq, alphas[i]);
+        .zip(&alphas)
+        .map(|(pair, &alpha)| {
+            let e_star = winner_poly.e().eval(&zq, alpha);
+            let h_star = winner_poly.h().eval(&zq, alpha);
             exclude_winner(group, pair, e_star, h_star)
         })
         .collect::<Result<_, _>>()?;
-    for (i, pair) in excluded.iter().enumerate() {
-        verify_lambda_psi(group, &commitments, i, alphas[i], pair, Some(winner))?;
+    for (i, (pair, &alpha)) in excluded.iter().zip(&alphas).enumerate() {
+        verify_lambda_psi(group, &commitments, i, alpha, pair, Some(winner))?;
     }
     let lambdas2: Vec<u64> = excluded.iter().map(|p| p.lambda).collect();
     let second = resolve_min_bid(group, encoding, &alphas, &lambdas2)?;
@@ -151,6 +155,12 @@ pub fn honest_auction<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -105,7 +105,9 @@ impl Commitments {
     /// deviation strategies; an honest agent never calls this.
     pub fn with_tampered_q(mut self, group: &SchnorrGroup, index: usize) -> Self {
         let zp = group.zp();
-        self.q[index] = zp.mul(self.q[index], group.z1());
+        if let Some(entry) = self.q.get_mut(index) {
+            *entry = zp.mul(*entry, group.z1());
+        }
         self
     }
 
@@ -197,6 +199,12 @@ pub fn verify_shares(
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -113,13 +113,14 @@ impl BidEncoding {
     ///
     /// Returns [`CryptoError::BidOutOfRange`] for bids outside `W`.
     pub fn degree_of_bid(&self, bid: u64) -> Result<usize, CryptoError> {
-        if !self.contains_bid(bid) {
-            return Err(CryptoError::BidOutOfRange {
+        let index = usize::try_from(bid)
+            .ok()
+            .filter(|_| self.contains_bid(bid))
+            .ok_or(CryptoError::BidOutOfRange {
                 bid,
                 w_max: self.w_max(),
-            });
-        }
-        Ok(self.sigma() - bid as usize - self.faults)
+            })?;
+        Ok(self.sigma() - index - self.faults)
     }
 
     /// The degree `σ − τ = y + c` of the `f`-polynomial for bid `y`.
@@ -147,10 +148,10 @@ impl BidEncoding {
     /// scans. The smallest resolving candidate is the true degree
     /// `σ − (y_min + c)`.
     pub fn candidate_degrees(&self) -> Vec<usize> {
-        self.bid_set()
-            .iter()
+        let w_max = self.agents - self.faults - 1;
+        (1..=w_max)
             .rev() // descending bids = ascending degrees
-            .map(|&w| self.sigma() - w as usize - self.faults)
+            .map(|w| self.sigma() - w - self.faults)
             .collect()
     }
 
@@ -158,7 +159,11 @@ impl BidEncoding {
     /// the winner's `f` has degree `y* + c`, so `y* + c + 1` points resolve
     /// it (step III.3).
     pub fn winner_points(&self, first_price: u64) -> usize {
-        first_price as usize + self.faults + 1
+        // A price too large for `usize` cannot be a real bid; demanding
+        // `σ + c + 1` points (more than can exist) surfaces it as
+        // `LengthMismatch` downstream instead of truncating.
+        let fp = usize::try_from(first_price).unwrap_or(self.sigma());
+        fp + self.faults + 1
     }
 
     /// Minimum subgroup order `q` for this encoding: `n` distinct non-zero
@@ -170,6 +175,12 @@ impl BidEncoding {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -48,6 +48,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Protocol cryptography must not panic or silently truncate: failures
+// surface as `CryptoError`, and the workspace-level `warn` on these
+// lints escalates to a hard failure here (tests are exempted at each
+// `mod tests`). The dmw-lint pass enforces the complementary token-level
+// rules; see docs/static_analysis.md.
+#![deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 
 pub mod blackboard;
 pub mod commitments;

@@ -120,13 +120,13 @@ pub fn resolve_min_bid(
     let zp = group.zp();
     for degree in encoding.candidate_degrees() {
         let s = degree + 1;
-        if s > alphas.len() {
+        let (Some(alpha_head), Some(lambda_head)) = (alphas.get(..s), lambdas.get(..s)) else {
             break;
-        }
-        let rho = lagrange::zero_coefficients(&zq, &alphas[..s])
+        };
+        let rho = lagrange::zero_coefficients(&zq, alpha_head)
             .map_err(|_| CryptoError::ResolutionFailed)?;
         let mut product = 1u64;
-        for (&lam, &r) in lambdas[..s].iter().zip(&rho) {
+        for (&lam, &r) in lambda_head.iter().zip(&rho) {
             product = zp.mul(product, zp.pow(lam, r));
         }
         if product == 1 {
@@ -141,6 +141,34 @@ pub fn resolve_min_bid(
         }
     }
     Err(CryptoError::ResolutionFailed)
+}
+
+/// Verifies one claimed `(f_ℓ(α), h_ℓ(α))` evaluation against agent `ℓ`'s
+/// published `R` commitment vector — equation (9) applied to a single
+/// point: `z1^{f} · z2^{h} = Φ_ℓ(α) = Π_j R_{ℓ,j}^{α^j}`.
+///
+/// This backs the winner-identification fallback: when crashes before
+/// bidding leave fewer live share points than identification needs, the
+/// winner itself supplies its polynomial's evaluations at the missing
+/// pseudonyms, and every verifier binds those claims to the commitments
+/// published back in Phase II.3.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::DisclosureInvalid`] (naming `point_index`) when
+/// the claimed pair does not match the commitment.
+pub fn verify_claimed_f_point(
+    group: &SchnorrGroup,
+    commitments: &Commitments,
+    point_index: usize,
+    alpha: u64,
+    f_value: u64,
+    h_value: u64,
+) -> Result<(), CryptoError> {
+    if group.commit(f_value, h_value) != commitments.phi(group, alpha) {
+        return Err(CryptoError::DisclosureInvalid { point: point_index });
+    }
+    Ok(())
 }
 
 /// Verifies a round of disclosed `f`-shares at one point — equation (13):
@@ -222,10 +250,11 @@ pub fn identify_winner(
                 expected: needed,
             });
         }
-        let shares: Vec<(u64, u64)> = alphas[..needed]
+        let shares: Vec<(u64, u64)> = alphas
             .iter()
             .copied()
-            .zip(column[..needed].iter().copied())
+            .zip(column.iter().copied())
+            .take(needed)
             .collect();
         if let Ok(0) = lagrange::interpolate_at_zero(&zq, &shares) {
             return Ok(agent);
@@ -259,6 +288,12 @@ pub fn exclude_winner(
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::polynomials::BidPolynomials;
@@ -394,6 +429,22 @@ mod tests {
                 s.pairs[k].psi
             ),
             Err(CryptoError::DisclosureInvalid { point: 0 })
+        ));
+    }
+
+    #[test]
+    fn claimed_f_point_verifies_and_tampering_is_caught() {
+        let s = setup(&[3, 1, 2, 4, 2, 3], 19);
+        let zq = s.group.zq();
+        // Agent 1 proves its f/h evaluations at agent 4's pseudonym, as it
+        // would if agent 4 had crashed before bidding.
+        let alpha = s.alphas[4];
+        let f = s.polys[1].f().eval(&zq, alpha);
+        let h = s.polys[1].h().eval(&zq, alpha);
+        verify_claimed_f_point(&s.group, &s.commitments[1], 4, alpha, f, h).unwrap();
+        assert!(matches!(
+            verify_claimed_f_point(&s.group, &s.commitments[1], 4, alpha, zq.add(f, 1), h),
+            Err(CryptoError::DisclosureInvalid { point: 4 })
         ));
     }
 

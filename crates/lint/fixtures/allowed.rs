@@ -1,0 +1,15 @@
+// Fixture: justified allowlist escapes. Never compiled; scanned by
+// tests/fixtures.rs as if it lived at crates/crypto/src/fixture.rs.
+// dmw-lint: allow-file(L1-index): fixture exercising the file-wide escape
+
+fn with_escapes(x: Option<u64>, v: &[u64]) -> u64 {
+    // dmw-lint: allow(L1): construction guarantees presence in this fixture
+    let a = x.unwrap();
+    let b = v[0]; // suppressed by the allow-file directive above
+    a + b
+}
+
+fn trailing() -> u64 {
+    let mut rng = thread_rng(); // dmw-lint: allow(L4): fixture demonstrating a trailing allow
+    rng.gen()
+}

@@ -1,0 +1,27 @@
+// Fixture: protocol-critical code that satisfies every rule. Never
+// compiled; scanned by tests/fixtures.rs as if it lived at
+// crates/crypto/src/fixture.rs.
+
+fn well_behaved(zp: &Zp, zq: &Zq, shares: &[u64], i: usize) -> Result<u64, Error> {
+    // "unwrap" and panic! in strings and comments are invisible.
+    let label = "do not unwrap or panic! here";
+    let value = shares.get(i).copied().ok_or(Error::Missing)?;
+    let product = zp.mul(value, zp.pow(value, 3));
+    let sum = zq.add(product, value);
+    match classify(sum) {
+        Class::Low => Ok(sum),
+        Class::High => Err(Error::TooHigh),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may unwrap freely; the rules skip test modules.
+    fn in_tests() {
+        let x: Option<u64> = Some(1);
+        let _ = x.unwrap();
+        let v = [1, 2, 3];
+        let _ = v[0];
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: every L1 shape. Never compiled; scanned by tests/fixtures.rs
+// as if it lived at crates/crypto/src/fixture.rs.
+
+fn panic_paths(x: Option<u64>, v: &[u64]) -> u64 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a == 0 {
+        panic!("zero");
+    }
+    if b == 1 {
+        unreachable!();
+    }
+    a + v[0]
+}

@@ -1,0 +1,10 @@
+// Fixture: every L2 shape. Never compiled; scanned by tests/fixtures.rs
+// as if it lived at crates/crypto/src/fixture.rs.
+
+fn raw_field_arithmetic(zp: &Zp, a: u64, b: u64, p: u64) -> u64 {
+    let reduced = (a * b) % p;
+    let powed = a.pow(3);
+    let wrapped = a.wrapping_mul(b);
+    let off_by_one = zp.mul(a, b) + 1;
+    reduced + powed + wrapped + off_by_one
+}

@@ -1,0 +1,10 @@
+// Fixture: L3 wildcard dispatch. Never compiled; scanned by
+// tests/fixtures.rs as if it lived at crates/core/src/codec.rs.
+
+fn dispatch(m: Message) -> u8 {
+    match m {
+        Message::Shares { .. } => 1,
+        Message::Commit { .. } => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: every L4 shape. Never compiled; scanned by tests/fixtures.rs
+// under an arbitrary path (L4 applies everywhere).
+
+fn ambient_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = StdRng::from_entropy();
+    let now = SystemTime::now();
+    rng.gen()
+}

@@ -1,0 +1,9 @@
+// Fixture: L5 truncating casts. Never compiled; scanned by
+// tests/fixtures.rs as if it lived at crates/modmath/src/fixture.rs.
+
+fn narrow(residue: u64) -> usize {
+    let small = residue as u32;
+    let index = residue as usize;
+    let wide = residue as u128; // widening: legal
+    index + small as usize
+}

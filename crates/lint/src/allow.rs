@@ -1,0 +1,267 @@
+//! Allowlist directives — the escape hatch, and the rules *about* the
+//! escape hatch.
+//!
+//! Grammar (line comments only):
+//!
+//! ```text
+//! // dmw-lint: allow(L1): justification text
+//! // dmw-lint: allow-file(L1-index): justification text
+//! ```
+//!
+//! A plain `allow` suppresses matching findings on its own line and the
+//! line below (so the directive can sit above the offending statement or
+//! trail it). `allow-file` suppresses for the whole file and is accepted
+//! only for `L1-index`, where per-site annotation of structurally bounded
+//! indexing would drown the code in noise.
+//!
+//! Directive misuse is itself reported as findings under the `allowlist`
+//! rule: unknown rule keys, `allow`s that suppress nothing, missing
+//! justifications, any attempt to allow `L2`/`L3` (which are
+//! unconditional), and malformed `dmw-lint:` comments.
+
+use crate::lexer::Comment;
+use crate::rules::Finding;
+
+/// Rule keys an `allow(...)` may name.
+const ALLOWED_KEYS: &[&str] = &["L1", "L1-index", "L4", "L5"];
+
+/// Rule keys that exist but must never be allowlisted.
+const UNWAIVABLE_KEYS: &[&str] = &["L2", "L3"];
+
+/// Keys `allow-file(...)` may name.
+const FILE_SCOPE_KEYS: &[&str] = &["L1-index"];
+
+/// A parsed `// dmw-lint: …` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule keys inside the parentheses.
+    pub keys: Vec<String>,
+    /// Justification text after the trailing `:` (trimmed), if any.
+    pub justification: Option<String>,
+    /// True for `allow-file`.
+    pub file_scope: bool,
+}
+
+/// Extracts directives from a file's comments; malformed `dmw-lint:`
+/// comments are reported straight into `errors`.
+pub fn parse_directives(comments: &[Comment], errors: &mut Vec<Finding>) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("dmw-lint:") else {
+            continue;
+        };
+        if !c.is_line {
+            errors.push(misuse(
+                c.line,
+                "dmw-lint directives must be `//` line comments",
+            ));
+            continue;
+        }
+        let rest = rest.trim();
+        let (file_scope, rest) = match rest.strip_prefix("allow-file") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow") {
+                Some(r) => (false, r),
+                None => {
+                    errors.push(misuse(
+                        c.line,
+                        "unknown dmw-lint directive — expected `allow(…)` or `allow-file(…)`",
+                    ));
+                    continue;
+                }
+            },
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            errors.push(misuse(c.line, "expected `(` after `allow`"));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(misuse(c.line, "unclosed `(` in dmw-lint directive"));
+            continue;
+        };
+        let keys: Vec<String> = rest[..close]
+            .split(',')
+            .map(|k| k.trim().to_owned())
+            .filter(|k| !k.is_empty())
+            .collect();
+        if keys.is_empty() {
+            errors.push(misuse(c.line, "empty rule list in dmw-lint directive"));
+            continue;
+        }
+        let tail = rest[close + 1..].trim();
+        let justification = tail
+            .strip_prefix(':')
+            .map(|j| j.trim().to_owned())
+            .filter(|j| !j.is_empty());
+        out.push(Directive {
+            line: c.line,
+            keys,
+            justification,
+            file_scope,
+        });
+    }
+    out
+}
+
+/// Validates directives and applies them to `findings`, returning the
+/// surviving findings plus any directive-misuse findings.
+pub fn apply(directives: &[Directive], findings: Vec<Finding>) -> Vec<Finding> {
+    let mut errors = Vec::new();
+    let mut used = vec![false; directives.len()];
+    let mut kept = Vec::new();
+
+    for d in directives {
+        for key in &d.keys {
+            if UNWAIVABLE_KEYS.contains(&key.as_str()) {
+                errors.push(misuse(
+                    d.line,
+                    &format!("`{key}` findings cannot be allowlisted — fix the code"),
+                ));
+            } else if !ALLOWED_KEYS.contains(&key.as_str()) {
+                errors.push(misuse(d.line, &format!("unknown rule `{key}`")));
+            } else if d.file_scope && !FILE_SCOPE_KEYS.contains(&key.as_str()) {
+                errors.push(misuse(
+                    d.line,
+                    &format!("`allow-file` is only accepted for `L1-index`, not `{key}`"),
+                ));
+            }
+        }
+        if d.justification.is_none() {
+            errors.push(misuse(
+                d.line,
+                "allow directive without a justification — append `: why this is safe`",
+            ));
+        }
+    }
+
+    for f in findings {
+        let suppressed = directives.iter().enumerate().find(|(_, d)| {
+            let key_matches = d
+                .keys
+                .iter()
+                .any(|k| k == f.allow_key || (k == "L1" && f.allow_key == "L1-index"));
+            let valid = key_matches
+                && d.justification.is_some()
+                && d.keys.iter().all(|k| {
+                    ALLOWED_KEYS.contains(&k.as_str())
+                        && (!d.file_scope || FILE_SCOPE_KEYS.contains(&k.as_str()))
+                });
+            valid && (d.file_scope || d.line == f.line || d.line + 1 == f.line)
+        });
+        match suppressed {
+            Some((idx, _)) => used[idx] = true,
+            None => kept.push(f),
+        }
+    }
+
+    for (d, was_used) in directives.iter().zip(&used) {
+        let well_formed = d.justification.is_some()
+            && d.keys.iter().all(|k| {
+                ALLOWED_KEYS.contains(&k.as_str())
+                    && (!d.file_scope || FILE_SCOPE_KEYS.contains(&k.as_str()))
+            });
+        if well_formed && !was_used {
+            errors.push(misuse(
+                d.line,
+                "unused allow directive — delete it (stale allows hide future regressions)",
+            ));
+        }
+    }
+
+    kept.extend(errors);
+    kept
+}
+
+fn misuse(line: u32, message: &str) -> Finding {
+    Finding {
+        rule: "allowlist",
+        allow_key: "allowlist",
+        line,
+        message: message.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(src: &str, findings: Vec<Finding>) -> Vec<Finding> {
+        let (_, comments) = lex(src);
+        let mut errors = Vec::new();
+        let directives = parse_directives(&comments, &mut errors);
+        let mut out = apply(&directives, findings);
+        out.extend(errors);
+        out
+    }
+
+    fn l1_at(line: u32) -> Finding {
+        Finding {
+            rule: "L1",
+            allow_key: "L1",
+            line,
+            message: "x".into(),
+        }
+    }
+
+    #[test]
+    fn justified_allow_suppresses_same_and_next_line() {
+        let src = "// dmw-lint: allow(L1): startup-only invariant\nx.unwrap();";
+        assert!(check(src, vec![l1_at(2)]).is_empty());
+        let trailing = "x.unwrap(); // dmw-lint: allow(L1): startup-only invariant";
+        assert!(check(trailing, vec![l1_at(1)]).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_an_error_and_does_not_suppress() {
+        let src = "// dmw-lint: allow(L1)\nx.unwrap();";
+        let out = check(src, vec![l1_at(2)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|f| f.rule == "allowlist"));
+        assert!(out.iter().any(|f| f.rule == "L1"));
+    }
+
+    #[test]
+    fn l2_and_l3_cannot_be_allowed() {
+        for key in ["L2", "L3"] {
+            let src = format!("// dmw-lint: allow({key}): please\nlet x = a % b;");
+            let out = check(&src, vec![]);
+            assert!(
+                out.iter()
+                    .any(|f| f.message.contains("cannot be allowlisted")),
+                "{key}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unused_and_unknown_allows_are_errors() {
+        let unused = "// dmw-lint: allow(L4): no finding here\nlet x = 1;";
+        assert!(check(unused, vec![])
+            .iter()
+            .any(|f| f.message.contains("unused")));
+        let unknown = "// dmw-lint: allow(L9): what\nlet x = 1;";
+        assert!(check(unknown, vec![])
+            .iter()
+            .any(|f| f.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn allow_file_is_l1_index_only_and_file_wide() {
+        let src = "// dmw-lint: allow-file(L1-index): bounds checked at entry\n";
+        let far = Finding {
+            rule: "L1",
+            allow_key: "L1-index",
+            line: 400,
+            message: "x".into(),
+        };
+        assert!(check(src, vec![far]).is_empty());
+        let bad = "// dmw-lint: allow-file(L1): nope\n";
+        assert!(check(bad, vec![])
+            .iter()
+            .any(|f| f.message.contains("only accepted for")));
+    }
+}

@@ -1,0 +1,184 @@
+//! `dmw-lint` — workspace-wide protocol-invariant static analysis.
+//!
+//! The DMW protocol's safety rests on a handful of code-level invariants
+//! that the type system cannot express: no panic paths in protocol
+//! dispatch, no raw machine arithmetic on field residues, no wildcard
+//! dispatch over protocol enums, no ambient entropy, no truncating casts
+//! in the arithmetic core. This crate enforces them lexically: a small
+//! Rust lexer ([`lexer`]), five token-pattern rules ([`rules`]) scoped to
+//! the modules where they are unambiguous, and a justified-allowlist
+//! escape hatch ([`allow`]). See `docs/static_analysis.md` for the rule
+//! catalogue and rationale.
+//!
+//! Entry points: [`lint_source`] for one file (used by the fixture
+//! tests), [`lint_workspace`] for the tree walk (used by the CLI and the
+//! tier-1 integration test).
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::Finding;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned: build output, vendored stubs (external
+/// idiom, not protocol code) and the lint's own deliberately-dirty
+/// fixtures.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Protocol-critical files inside `crates/core` (L1 scope).
+const CORE_CRITICAL: &[&str] = &[
+    "crates/core/src/codec.rs",
+    "crates/core/src/runner.rs",
+    "crates/core/src/agent.rs",
+    "crates/core/src/payment.rs",
+];
+
+/// A rule pass: tokens in, findings out.
+type Rule = fn(&[lexer::Token]) -> Vec<Finding>;
+
+/// Which rules police `path` (workspace-relative, `/`-separated).
+fn rules_for_path(path: &str) -> Vec<Rule> {
+    let mut out: Vec<Rule> = Vec::new();
+    let in_crypto = path.starts_with("crates/crypto/src/");
+    let in_modmath = path.starts_with("crates/modmath/src/");
+
+    if in_crypto || CORE_CRITICAL.contains(&path) {
+        out.push(rules::l1);
+    }
+    // codec.rs is excluded from L2: byte/bit packing legitimately uses
+    // `%` and shifts on lengths, never on field values.
+    if in_crypto
+        || [
+            "crates/core/src/agent.rs",
+            "crates/core/src/payment.rs",
+            "crates/core/src/runner.rs",
+        ]
+        .contains(&path)
+    {
+        out.push(rules::l2);
+    }
+    if ["crates/core/src/codec.rs", "crates/core/src/runner.rs"].contains(&path) {
+        out.push(rules::l3);
+    }
+    out.push(rules::l4); // everywhere
+    if in_modmath || in_crypto {
+        out.push(rules::l5);
+    }
+    out
+}
+
+/// Lints one file's source as if it lived at `path` (workspace-relative).
+/// Returns surviving findings, including allowlist-misuse findings.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let (tokens, comments) = lexer::lex(source);
+    let tokens = rules::strip_test_regions(&tokens);
+    let mut findings = Vec::new();
+    for rule in rules_for_path(path) {
+        findings.extend(rule(&tokens));
+    }
+    let mut parse_errors = Vec::new();
+    let directives = allow::parse_directives(&comments, &mut parse_errors);
+    let mut out = allow::apply(&directives, findings);
+    out.extend(parse_errors);
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// A finding located in a specific file.
+#[derive(Debug, Clone)]
+pub struct FileFinding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// The finding itself.
+    pub finding: Finding,
+}
+
+impl std::fmt::Display for FileFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.finding.line, self.finding.rule, self.finding.message
+        )
+    }
+}
+
+/// Lints every `.rs` file under `root` (skipping [`SKIP_DIRS`]), sorted
+/// by path then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileFinding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_default();
+        for finding in lint_source(&rel_str, &source) {
+            out.push(FileFinding {
+                path: rel_str.clone(),
+                finding,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_selects_the_documented_rule_sets() {
+        // L2 fires in agent.rs but not codec.rs or modmath for raw `%`.
+        let modsrc = "fn f(a: u64, b: u64) -> u64 { a % b }";
+        assert!(lint_source("crates/modmath/src/field.rs", modsrc).is_empty());
+        assert_eq!(lint_source("crates/core/src/agent.rs", modsrc).len(), 1);
+        assert!(lint_source("crates/core/src/codec.rs", modsrc).is_empty());
+
+        let wild = "fn g(m: M) -> u8 { match m { M::A => 1, _ => 2 } }";
+        assert_eq!(lint_source("crates/core/src/codec.rs", wild).len(), 1);
+        assert!(lint_source("crates/core/src/messages.rs", wild).is_empty());
+    }
+
+    #[test]
+    fn l4_applies_everywhere() {
+        let src = "fn f() { let r = thread_rng(); }";
+        assert_eq!(lint_source("tests/src/lib.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/simnet/src/net.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn findings_are_line_sorted() {
+        let src = "fn f() { x.unwrap();\n y.expect(\"z\"); }";
+        let out = lint_source("crates/crypto/src/shares.rs", src);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].line < out[1].line);
+    }
+}

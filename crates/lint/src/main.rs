@@ -1,0 +1,64 @@
+//! CLI for the workspace lint: `cargo run -p dmw-lint [ROOT]`.
+//!
+//! Prints `path:line: [rule] message` for every violation and exits
+//! non-zero when any exist, so it slots directly into `scripts/check.sh`
+//! and CI.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    if matches!(arg.as_deref(), Some("--help" | "-h")) {
+        println!(
+            "dmw-lint — protocol-invariant static analysis for the DMW workspace\n\n\
+             USAGE: dmw-lint [ROOT]\n\n\
+             ROOT defaults to the workspace root found by walking up from\n\
+             the current directory to the first Cargo.toml containing\n\
+             `[workspace]`. Rules and allowlist conventions are documented\n\
+             in docs/static_analysis.md."
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match arg.map(PathBuf::from).or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("dmw-lint: no workspace root found (run inside the repo or pass ROOT)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match dmw_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("dmw-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("dmw-lint: {} violation(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dmw-lint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        dir = Path::new(&dir).parent()?.to_path_buf();
+    }
+}

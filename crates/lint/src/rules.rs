@@ -1,0 +1,509 @@
+//! The five protocol-invariant rules (L1–L5).
+//!
+//! Each rule is a pure function over the token stream of one file (test
+//! modules already stripped) and reports [`Finding`]s with 1-based lines.
+//! The rules are deliberately lexical: they cannot type-check, so each one
+//! is scoped (by [`crate::rules_for_path`]) to modules where its token
+//! pattern is unambiguous, and the precise semantics are documented in
+//! `docs/static_analysis.md`. Rules must never read literal contents —
+//! the lexer blanks them — so quoted text cannot trip a rule.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`L1` … `L5`, or `allowlist` for directive misuse).
+    pub rule: &'static str,
+    /// Key an allow directive must name to suppress this finding (`L1`
+    /// findings for slice indexing use the narrower `L1-index`).
+    pub allow_key: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description with a remediation hint.
+    pub message: String,
+}
+
+fn finding(rule: &'static str, allow_key: &'static str, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        allow_key,
+        line,
+        message,
+    }
+}
+
+/// Removes token ranges under `#[cfg(test)]` (and any attribute whose
+/// arguments mention `test`, e.g. `#[cfg(all(test, …))]`): the rules police
+/// protocol code, not tests, which unwrap freely by design.
+pub fn strip_test_regions(tokens: &[Token]) -> Vec<Token> {
+    let mut keep = vec![true; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct('#')
+            && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('['))
+        {
+            let close = match matching(tokens, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            let is_cfg_test = tokens[i + 2..close]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "cfg")
+                && tokens[i + 2..close]
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Ident && t.text == "test");
+            if !is_cfg_test {
+                i = close + 1;
+                continue;
+            }
+            // Strip from the attribute through the annotated item: up to
+            // the matching `}` of its body, or the `;` of a bodiless item.
+            let mut j = close + 1;
+            let mut end = tokens.len() - 1;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokenKind::Punct('{') => {
+                        end = matching(tokens, j, '{', '}').unwrap_or(tokens.len() - 1);
+                        break;
+                    }
+                    TokenKind::Punct(';') => {
+                        end = j;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            for flag in keep.iter_mut().take(end + 1).skip(i) {
+                *flag = false;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    tokens
+        .iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+/// Index of the token matching `open` at `start` (which must hold `open`).
+fn matching(tokens: &[Token], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(start) {
+        if t.kind == TokenKind::Punct(open) {
+            depth += 1;
+        } else if t.kind == TokenKind::Punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the token matching a closing `close` at `end`, scanning back.
+fn matching_back(tokens: &[Token], end: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for i in (0..=end).rev() {
+        if tokens[i].kind == TokenKind::Punct(close) {
+            depth += 1;
+        } else if tokens[i].kind == TokenKind::Punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+fn is_ident(t: &Token, name: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == name
+}
+
+/// Keywords that can precede `[` without forming an index expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "super", "trait", "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// L1 — no panic paths in protocol-critical modules: `.unwrap()`,
+/// `.expect(…)`, `panic!`/`unreachable!`/`todo!`/`unimplemented!`, and
+/// slice/array indexing (`x[i]`, `x[..n]`), which panics out-of-bounds.
+pub fn l1(tokens: &[Token]) -> Vec<Finding> {
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    const METHODS: &[&str] = &["unwrap", "expect"];
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        let next = tokens.get(i + 1);
+        if METHODS.contains(&t.text.as_str())
+            && prev.is_some_and(|p| p.kind == TokenKind::Punct('.'))
+            && next.is_some_and(|n| n.kind == TokenKind::Punct('('))
+        {
+            out.push(finding(
+                "L1",
+                "L1",
+                t.line,
+                format!(
+                    "`.{}()` in protocol-critical code — return a typed error \
+                     or route the invariant through a single documented funnel",
+                    t.text
+                ),
+            ));
+        }
+        if MACROS.contains(&t.text.as_str())
+            && next.is_some_and(|n| n.kind == TokenKind::Punct('!'))
+        {
+            out.push(finding(
+                "L1",
+                "L1",
+                t.line,
+                format!(
+                    "`{}!` in protocol-critical code — abort via the protocol's \
+                     error path instead of crashing the process",
+                    t.text
+                ),
+            ));
+        }
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct('[') || i == 0 {
+            continue;
+        }
+        let prev = &tokens[i - 1];
+        let indexes = match prev.kind {
+            TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('?') => true,
+            _ => false,
+        };
+        if indexes {
+            out.push(finding(
+                "L1",
+                "L1-index",
+                t.line,
+                "slice/array indexing in protocol-critical code — prefer \
+                 `.get(…)`, iterators, or pattern matching"
+                    .to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+/// Receivers on which `.pow(…)` and friends are the *modmath* field API
+/// rather than raw machine arithmetic.
+const FIELD_HANDLES: &[&str] = &["zp", "zq", "group"];
+
+/// Field-API method names whose `u64` results must not feed raw operators.
+const FIELD_METHODS: &[&str] = &[
+    "add", "sub", "mul", "neg", "inv", "pow", "commit", "pow_z1", "pow_z2",
+];
+
+/// L2 — no raw arithmetic on field values outside `crates/modmath`:
+/// `%` anywhere (reduction must use the field API), integer `.pow`-family
+/// methods off a non-field receiver, machine-arithmetic wrappers
+/// (`wrapping_*`/`checked_*`/…), and `+ - * %` directly adjacent to a
+/// field-API call result.
+pub fn l2(tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Punct('%') {
+            out.push(finding(
+                "L2",
+                "L2",
+                t.line,
+                "raw `%` reduction — field values are reduced by the \
+                 `dmw_modmath` API (`zq.add`/`zp.mul`/…), never by hand"
+                    .to_owned(),
+            ));
+        }
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_method_call = i > 0
+            && tokens[i - 1].kind == TokenKind::Punct('.')
+            && tokens.get(i + 1).map(|n| n.kind) == Some(TokenKind::Punct('('));
+        if t.text == "pow" {
+            let field_receiver = is_method_call && i >= 2 && receiver_is_field(tokens, i - 2);
+            // `u64::pow(..)` and `x.pow(..)` on a raw integer are both
+            // banned; `zp.pow(..)` / `self.zq().pow(..)` are the API.
+            let path_call = i >= 2
+                && tokens[i - 1].kind == TokenKind::Punct(':')
+                && tokens[i - 2].kind == TokenKind::Punct(':');
+            if (is_method_call && !field_receiver) || path_call {
+                out.push(finding(
+                    "L2",
+                    "L2",
+                    t.line,
+                    "integer `pow` on a raw value — exponentiation of field \
+                     elements must go through `zp.pow`/`zq.pow`"
+                        .to_owned(),
+                ));
+            }
+        }
+        let wrapper = ["wrapping_", "checked_", "overflowing_", "saturating_"]
+            .iter()
+            .any(|p| t.text.starts_with(p));
+        let arith_tail = ["add", "sub", "mul", "pow", "neg", "rem", "div"]
+            .iter()
+            .any(|s| t.text.ends_with(s));
+        if wrapper && arith_tail && is_method_call {
+            out.push(finding(
+                "L2",
+                "L2",
+                t.line,
+                format!(
+                    "`.{}()` machine arithmetic — field values wrap at the \
+                     modulus via the `dmw_modmath` API, not at 2^64",
+                    t.text
+                ),
+            ));
+        }
+    }
+    // `+ - *` directly against a field-API call: `zp.mul(a, b) + 1` or
+    // `1 + zp.mul(a, b)` bypasses reduction.
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !FIELD_HANDLES.contains(&t.text.as_str())
+            || tokens.get(i + 1).map(|n| n.kind) != Some(TokenKind::Punct('.'))
+        {
+            continue;
+        }
+        let Some(method) = tokens.get(i + 2) else {
+            continue;
+        };
+        if method.kind != TokenKind::Ident
+            || !FIELD_METHODS.contains(&method.text.as_str())
+            || tokens.get(i + 3).map(|n| n.kind) != Some(TokenKind::Punct('('))
+        {
+            continue;
+        }
+        let raw_op = |tok: Option<&Token>| {
+            matches!(
+                tok.map(|x| x.kind),
+                Some(TokenKind::Punct('+') | TokenKind::Punct('-') | TokenKind::Punct('*'))
+            )
+        };
+        // Operator before the receiver (skipping a leading `-` of `->`).
+        if i > 0
+            && raw_op(Some(&tokens[i - 1]))
+            && !(tokens[i - 1].kind == TokenKind::Punct('-')
+                && i >= 2
+                && tokens[i - 2].kind == TokenKind::Punct('-'))
+        {
+            let arrow = tokens[i - 1].kind == TokenKind::Punct('-')
+                && i >= 2
+                && tokens[i - 2].kind == TokenKind::Punct('>');
+            if !arrow {
+                out.push(finding(
+                    "L2",
+                    "L2",
+                    t.line,
+                    "raw arithmetic on a field-API result — compose through \
+                     `dmw_modmath` methods instead"
+                        .to_owned(),
+                ));
+            }
+        }
+        // Operator after the call's closing parenthesis.
+        if let Some(close) = matching(tokens, i + 3, '(', ')') {
+            if raw_op(tokens.get(close + 1)) {
+                out.push(finding(
+                    "L2",
+                    "L2",
+                    tokens[close].line,
+                    "raw arithmetic on a field-API result — compose through \
+                     `dmw_modmath` methods instead"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// True when the token at `r` ends a field-handle receiver: the ident
+/// `zp`/`zq`/`group` itself, or a call like `.zp()` / `.zq()`.
+fn receiver_is_field(tokens: &[Token], r: usize) -> bool {
+    match tokens[r].kind {
+        TokenKind::Ident => FIELD_HANDLES.contains(&tokens[r].text.as_str()),
+        TokenKind::Punct(')') => matching_back(tokens, r, '(', ')')
+            .and_then(|open| open.checked_sub(1))
+            .is_some_and(|m| {
+                tokens[m].kind == TokenKind::Ident
+                    && FIELD_HANDLES.contains(&tokens[m].text.as_str())
+            }),
+        _ => false,
+    }
+}
+
+/// L3 — no wildcard `_` match arms in the codec and runner: every protocol
+/// message and abort reason must be handled by name, so adding a variant
+/// is a compile error at every dispatch site rather than a silent fall
+/// through. (Binding catch-alls like `tag => Err(…)` on open byte domains
+/// remain legal — they handle, not discard.)
+pub fn l3(tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if is_ident(t, "_")
+            && tokens.get(i + 1).map(|n| n.kind) == Some(TokenKind::Punct('='))
+            && tokens.get(i + 2).map(|n| n.kind) == Some(TokenKind::Punct('>'))
+        {
+            out.push(finding(
+                "L3",
+                "L3",
+                t.line,
+                "wildcard `_ =>` match arm — name every protocol variant so \
+                 new messages fail to compile here instead of falling through"
+                    .to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+/// L4 — no ambient randomness or wall-clock reads: all randomness is
+/// injected as a seeded RNG so every run is reproducible.
+pub fn l4(tokens: &[Token]) -> Vec<Finding> {
+    const BANNED: &[(&str, &str)] = &[
+        ("thread_rng", "inject a seeded `StdRng` instead"),
+        ("from_entropy", "seed explicitly with `seed_from_u64`"),
+        ("SystemTime", "pass timestamps in; wall-clock breaks replay"),
+        ("OsRng", "inject a seeded `StdRng` instead"),
+    ];
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((name, hint)) = BANNED.iter().find(|(n, _)| *n == t.text) {
+            out.push(finding(
+                "L4",
+                "L4",
+                t.line,
+                format!("ambient `{name}` — {hint}"),
+            ));
+        }
+    }
+    out
+}
+
+/// L5 — no truncating `as` casts in the arithmetic crates: a silent
+/// truncation of a field residue corrupts every equation downstream.
+/// Widening casts (`as u64`, `as u128`) stay legal.
+pub fn l5(tokens: &[Token]) -> Vec<Finding> {
+    const NARROW: &[&str] = &[
+        "u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize", "usize",
+    ];
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if is_ident(t, "as")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident && NARROW.contains(&n.text.as_str()))
+        {
+            out.push(finding(
+                "L5",
+                "L5",
+                t.line,
+                format!(
+                    "`as {}` can truncate — use `try_from` with a typed error \
+                     (or prove the range and justify an allow)",
+                    tokens[i + 1].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rule: fn(&[Token]) -> Vec<Finding>, src: &str) -> Vec<Finding> {
+        let (tokens, _) = lex(src);
+        rule(&strip_test_regions(&tokens))
+    }
+
+    #[test]
+    fn l1_catches_each_panic_shape() {
+        let f = run(
+            l1,
+            "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); v[0]; }",
+        );
+        let keys: Vec<_> = f.iter().map(|f| f.allow_key).collect();
+        assert_eq!(keys, ["L1", "L1", "L1", "L1-index"]);
+    }
+
+    #[test]
+    fn l1_ignores_non_index_brackets() {
+        let clean = "fn f(a: &[u64]) -> [u8; 4] { let [x, y] = [1, 2]; vec![0; 3]; #[derive(Debug)] struct S; }";
+        assert!(run(l1, clean).is_empty(), "{:?}", run(l1, clean));
+    }
+
+    #[test]
+    fn l1_skips_test_modules() {
+        let src = "
+            fn live() { a.unwrap(); }
+            #[cfg(test)]
+            mod tests { fn t() { b.unwrap(); b[0]; panic!(); } }
+        ";
+        assert_eq!(run(l1, src).len(), 1);
+    }
+
+    #[test]
+    fn l2_catches_reduction_pow_and_adjacent_ops() {
+        assert_eq!(run(l2, "let r = (a * b) % p;").len(), 1);
+        assert_eq!(run(l2, "let r = x.pow(3);").len(), 1);
+        assert_eq!(run(l2, "let r = u64::pow(x, 3);").len(), 1);
+        assert_eq!(run(l2, "let r = x.wrapping_mul(y);").len(), 1);
+        assert_eq!(run(l2, "let r = zp.mul(a, b) + 1;").len(), 1);
+        assert_eq!(run(l2, "let r = 1 + zq.add(a, b);").len(), 1);
+    }
+
+    #[test]
+    fn l2_permits_the_field_api() {
+        let clean = "
+            fn f(zp: &Zp, zq: &Zq, group: &G) -> u64 {
+                let x = zp.mul(a, zq.add(b, c));
+                let y = zp.pow(x, e);
+                let z = group.zq().pow(x, e);
+                zp.mul(x, y)
+            }
+        ";
+        assert!(run(l2, clean).is_empty(), "{:?}", run(l2, clean));
+    }
+
+    #[test]
+    fn l3_catches_only_discarding_wildcards() {
+        assert_eq!(run(l3, "match m { A => 1, _ => 2 }").len(), 1);
+        assert!(run(l3, "match m { A => 1, tag => tag }").is_empty());
+        assert!(run(l3, "let f = |_| 3; let (_, a) = pair;").is_empty());
+    }
+
+    #[test]
+    fn l4_catches_ambient_entropy_but_not_strings() {
+        assert_eq!(run(l4, "let r = rand::thread_rng();").len(), 1);
+        assert_eq!(run(l4, "let t = SystemTime::now();").len(), 1);
+        assert!(run(l4, "let s = \"thread_rng\"; // thread_rng").is_empty());
+    }
+
+    #[test]
+    fn l5_catches_narrowing_not_widening() {
+        assert_eq!(run(l5, "let x = y as u32;").len(), 1);
+        assert_eq!(run(l5, "let x = y as usize;").len(), 1);
+        assert!(run(l5, "let x = y as u64; let z = y as u128;").is_empty());
+    }
+}

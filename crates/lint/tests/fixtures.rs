@@ -1,0 +1,132 @@
+//! Fixture tests: each rule catches its seeded violation file, the clean
+//! fixture produces nothing, and the allowlist escapes work end to end.
+//!
+//! The fixtures live in `crates/lint/fixtures/` (a directory the
+//! workspace walker skips) and are linted via [`dmw_lint::lint_source`]
+//! under synthetic in-scope paths, so these tests pin both the rule
+//! logic and the path scoping.
+
+use dmw_lint::{lint_source, Finding};
+
+fn lint_fixture(synthetic_path: &str, source: &str) -> Vec<Finding> {
+    lint_source(synthetic_path, source)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn l1_fixture_catches_every_panic_shape() {
+    let findings = lint_fixture(
+        "crates/crypto/src/fixture.rs",
+        include_str!("../fixtures/l1_panic.rs"),
+    );
+    let rules = rules_of(&findings);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "L1").count(),
+        5,
+        "unwrap + expect + panic! + unreachable! + v[0]: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.allow_key == "L1-index"),
+        "indexing reports under the L1-index allow key: {findings:?}"
+    );
+}
+
+#[test]
+fn l2_fixture_catches_raw_field_arithmetic() {
+    let findings = lint_fixture(
+        "crates/crypto/src/fixture.rs",
+        include_str!("../fixtures/l2_arith.rs"),
+    );
+    assert_eq!(
+        rules_of(&findings),
+        vec!["L2"; 4],
+        "% + raw pow + wrapping_mul + op-adjacent field call: {findings:?}"
+    );
+}
+
+#[test]
+fn l3_fixture_catches_wildcard_arm() {
+    let findings = lint_fixture(
+        "crates/core/src/codec.rs",
+        include_str!("../fixtures/l3_wildcard.rs"),
+    );
+    assert_eq!(rules_of(&findings), vec!["L3"], "{findings:?}");
+}
+
+#[test]
+fn l4_fixture_catches_ambient_entropy() {
+    let findings = lint_fixture(
+        "crates/simnet/src/fixture.rs",
+        include_str!("../fixtures/l4_entropy.rs"),
+    );
+    assert_eq!(
+        rules_of(&findings),
+        vec!["L4"; 3],
+        "thread_rng + from_entropy + SystemTime: {findings:?}"
+    );
+}
+
+#[test]
+fn l5_fixture_catches_narrowing_casts_only() {
+    let findings = lint_fixture(
+        "crates/modmath/src/fixture.rs",
+        include_str!("../fixtures/l5_cast.rs"),
+    );
+    assert_eq!(
+        rules_of(&findings),
+        vec!["L5"; 3],
+        "as u32 / as usize twice; as u128 stays legal: {findings:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean_under_the_strictest_scope() {
+    let findings = lint_fixture(
+        "crates/crypto/src/fixture.rs",
+        include_str!("../fixtures/clean.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn allowlist_escapes_suppress_with_justification() {
+    let findings = lint_fixture(
+        "crates/crypto/src/fixture.rs",
+        include_str!("../fixtures/allowed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn stripping_the_justification_revives_the_finding() {
+    let source = include_str!("../fixtures/allowed.rs")
+        .replace(": construction guarantees presence in this fixture", "");
+    let findings = lint_fixture("crates/crypto/src/fixture.rs", &source);
+    assert!(
+        findings.iter().any(|f| f.rule == "L1"),
+        "unjustified allow must not suppress: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "allowlist"),
+        "and is itself reported: {findings:?}"
+    );
+}
+
+#[test]
+fn l2_and_l3_allows_are_rejected_even_with_justification() {
+    let source = "// dmw-lint: allow(L2): very good reason\nlet x = a % b;\n";
+    let findings = lint_fixture("crates/crypto/src/fixture.rs", source);
+    assert!(
+        findings.iter().any(|f| f.rule == "L2"),
+        "the violation survives: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "allowlist" && f.message.contains("cannot be allowlisted")),
+        "{findings:?}"
+    );
+}

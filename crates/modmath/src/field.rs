@@ -44,6 +44,14 @@ impl PrimeField {
         Ok(PrimeField { modulus: p })
     }
 
+    /// Rebuilds a field whose modulus was already validated by [`Self::new`]
+    /// (e.g. cached moduli inside [`crate::SchnorrGroup`]). Skips the
+    /// primality re-check so reconstruction is infallible.
+    pub(crate) fn from_validated_modulus(p: u64) -> Self {
+        debug_assert!(p >= 3 && is_prime(p));
+        PrimeField { modulus: p }
+    }
+
     /// The field modulus `p`.
     pub fn modulus(&self) -> u64 {
         self.modulus
@@ -68,7 +76,11 @@ impl PrimeField {
     /// constants appearing in Lagrange coefficients).
     pub fn reduce_i128(&self, v: i128) -> u64 {
         let m = self.modulus as i128;
-        (((v % m) + m) % m) as u64
+        // In range: `((v % m) + m) % m` lies in `[0, m)` and `m` fits in u64.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (((v % m) + m) % m) as u64
+        }
     }
 
     /// Adds two field elements.
@@ -166,6 +178,12 @@ impl PrimeField {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -125,7 +125,7 @@ impl SchnorrGroup {
 
     /// Picks a random element of order exactly `q` in `Z_p*`.
     fn find_generator<R: Rng + ?Sized>(p: u64, q: u64, rng: &mut R) -> u64 {
-        let zp = PrimeField::new(p).expect("p validated prime by caller");
+        let zp = PrimeField::from_validated_modulus(p);
         let cofactor = (p - 1) / q;
         loop {
             let h = rng.gen_range(2..p - 1);
@@ -189,8 +189,8 @@ impl SchnorrGroup {
             q,
             z1,
             z2,
-            zp: Some(PrimeField::new(p).expect("validated prime p")),
-            zq: Some(PrimeField::new(q).expect("validated prime q")),
+            zp: Some(PrimeField::from_validated_modulus(p)),
+            zq: Some(PrimeField::from_validated_modulus(q)),
         }
     }
 
@@ -218,14 +218,14 @@ impl SchnorrGroup {
     pub fn zp(&self) -> PrimeField {
         // The Option is None only for deserialized values (serde skip).
         self.zp
-            .unwrap_or_else(|| PrimeField::new(self.p).expect("validated at construction"))
+            .unwrap_or_else(|| PrimeField::from_validated_modulus(self.p))
     }
 
     /// The exponent field `Z_q` in which shares and Lagrange coefficients
     /// are computed.
     pub fn zq(&self) -> PrimeField {
         self.zq
-            .unwrap_or_else(|| PrimeField::new(self.q).expect("validated at construction"))
+            .unwrap_or_else(|| PrimeField::from_validated_modulus(self.q))
     }
 
     /// Computes the double-base commitment `z1^a · z2^b (mod p)` — the shape
@@ -259,6 +259,12 @@ impl SchnorrGroup {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

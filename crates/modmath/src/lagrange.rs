@@ -53,7 +53,7 @@ pub fn zero_coefficients(field: &PrimeField, points: &[u64]) -> Result<Vec<u64>,
                 modulus: field.modulus(),
             });
         }
-        if points[i + 1..].contains(&a) {
+        if points.get(i + 1..).is_some_and(|tail| tail.contains(&a)) {
             return Err(ModMathError::DuplicatePoint { point: a });
         }
     }
@@ -68,11 +68,9 @@ pub fn zero_coefficients(field: &PrimeField, points: &[u64]) -> Result<Vec<u64>,
             num = field.mul(num, ai);
             den = field.mul(den, field.sub(ai, ak));
         }
-        coeffs.push(
-            field
-                .div(num, den)
-                .expect("distinct points give nonzero denominator"),
-        );
+        // `den` is a product of differences of distinct points, hence
+        // nonzero, so `div` cannot fail; propagate rather than panic anyway.
+        coeffs.push(field.div(num, den)?);
     }
     Ok(coeffs)
 }
@@ -134,7 +132,7 @@ pub fn interpolate_at_zero_steps(
                 modulus: field.modulus(),
             });
         }
-        if points[i + 1..].contains(&a) {
+        if points.get(i + 1..).is_some_and(|tail| tail.contains(&a)) {
             return Err(ModMathError::DuplicatePoint { point: a });
         }
     }
@@ -148,7 +146,8 @@ pub fn interpolate_at_zero_steps(
             }
             den = field.mul(den, field.sub(ai, ak));
         }
-        psi.push(field.div(vk, den).expect("distinct points"));
+        // Distinct validated points make `den` nonzero.
+        psi.push(field.div(vk, den)?);
     }
     // Step 2: phi(0) = prod alpha_k.
     let mut phi = 1u64;
@@ -158,7 +157,8 @@ pub fn interpolate_at_zero_steps(
     // Step 3: phi(0) * sum psi_k / alpha_k.
     let mut sum = 0u64;
     for (&(ak, _), &pk) in shares.iter().zip(&psi) {
-        sum = field.add(sum, field.div(pk, ak).expect("nonzero point"));
+        // Points were validated nonzero above.
+        sum = field.add(sum, field.div(pk, ak)?);
     }
     Ok(field.mul(phi, sum))
 }
@@ -193,7 +193,8 @@ pub fn interpolate_at_zero_steps(
 /// ```
 pub fn resolve_zero_degree(field: &PrimeField, shares: &[(u64, u64)]) -> Option<usize> {
     for s in 1..=shares.len() {
-        match interpolate_at_zero(field, &shares[..s]) {
+        let prefix = shares.get(..s)?;
+        match interpolate_at_zero(field, prefix) {
             Ok(0) => return Some(s - 1),
             Ok(_) => continue,
             Err(_) => return None,
@@ -213,10 +214,8 @@ pub fn resolve_zero_degree_among(
 ) -> Option<usize> {
     for &d in candidates {
         let s = d + 1;
-        if s > shares.len() {
-            return None;
-        }
-        if let Ok(0) = interpolate_at_zero(field, &shares[..s]) {
+        let prefix = shares.get(..s)?;
+        if let Ok(0) = interpolate_at_zero(field, prefix) {
             return Some(d);
         }
     }
@@ -224,6 +223,12 @@ pub fn resolve_zero_degree_among(
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use crate::poly::Poly;

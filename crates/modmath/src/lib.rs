@@ -45,6 +45,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The arithmetic core must not panic or silently truncate: every residue
+// operation returns through typed errors, and the workspace-level `warn`
+// on these lints escalates to a hard failure here (tests are exempted at
+// each `mod tests`). The dmw-lint pass enforces the complementary
+// token-level rules; see docs/static_analysis.md.
+#![deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 
 pub mod arith;
 pub mod error;

@@ -146,7 +146,9 @@ impl Poly {
                 continue;
             }
             for (j, &b) in other.coeffs.iter().enumerate() {
-                coeffs[i + j] = field.add(coeffs[i + j], field.mul(a, b));
+                if let Some(slot) = coeffs.get_mut(i + j) {
+                    *slot = field.add(*slot, field.mul(a, b));
+                }
             }
         }
         Poly::from_coeffs(field, coeffs)
@@ -160,6 +162,12 @@ impl Poly {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation
+)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Pre-merge gate for the DMW workspace (see docs/static_analysis.md).
+#
+# Runs, in order:
+#   1. cargo fmt --check          -- formatting drift
+#   2. cargo clippy               -- warnings are errors workspace-wide;
+#      the four panic/truncation lints are advisory (`-A`) at this layer
+#      because crates/{modmath,crypto} already escalate them to `#![deny]`
+#      at their crate roots (source attributes outrank these CLI flags)
+#      and the protocol-critical modules of `dmw` are policed by dmw-lint
+#   3. dmw-lint                   -- protocol-invariant rules L1-L5
+#   4. cargo test                 -- full workspace suite (which re-runs
+#      dmw-lint as an integration test, so CI cannot skip it)
+#
+# Exits non-zero at the first failing step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --quiet -- \
+    -D warnings \
+    -A clippy::unwrap-used \
+    -A clippy::expect-used \
+    -A clippy::indexing-slicing \
+    -A clippy::cast-possible-truncation
+
+echo "==> dmw-lint"
+cargo run --quiet -p dmw-lint
+
+echo "==> cargo test (workspace)"
+cargo test --quiet --workspace
+
+echo "check.sh: all gates passed"

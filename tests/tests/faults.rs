@@ -65,6 +65,38 @@ fn tolerates_up_to_c_crashes_before_bidding() {
 }
 
 #[test]
+fn winner_claims_cover_high_survivor_bids() {
+    // With `c` pre-bidding crashes only `n − c` live share points remain,
+    // but eq (14) wants `y* + c + 1` of them — more than `n − c` once the
+    // survivor minimum bid `y*` exceeds `n − 2c − 1`. The winner-claim
+    // fallback supplies the missing commitment-bound evaluations, so the
+    // auction still completes in the starved regime.
+    let n = 7;
+    let c = 2;
+    let mut r = rng(9);
+    let cfg = config(n, c, &mut r);
+    // Every survivor bids w_max = 4: y* = 4 needs 7 points, 5 survive.
+    let rows: Vec<Vec<u64>> = (0..n).map(|_| vec![4]).collect();
+    let bids = dmw_mechanism::ExecutionTimes::from_rows(rows).unwrap();
+    let mut plan = FaultPlan::none(n);
+    for i in 0..c {
+        plan = plan.crash_at(NodeId(n - 1 - i), 0);
+    }
+    let behaviors = vec![dmw::Behavior::Suggested; n];
+    let run = DmwRunner::new(cfg)
+        .run(&bids, &behaviors, plan, &mut r)
+        .unwrap();
+    let outcome = run.completed().expect("fallback identification completes");
+    // Ties break to the lowest index; the tied second price equals the
+    // first, so the winner is paid its own bid.
+    assert_eq!(
+        outcome.schedule.agent_of(dmw_mechanism::TaskId(0)),
+        Some(dmw_mechanism::AgentId(0))
+    );
+    assert_eq!(outcome.payments[0], 4);
+}
+
+#[test]
 fn aborts_beyond_the_crash_threshold() {
     // c + 1 crashes exceed the tolerance: the protocol must abort, not
     // limp to a wrong answer.

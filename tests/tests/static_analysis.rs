@@ -1,0 +1,29 @@
+//! Tier-1 enforcement of the protocol-invariant lints: `cargo test` fails
+//! if any workspace source violates rules L1–L5 (see
+//! `docs/static_analysis.md`), so a violation cannot merge even when the
+//! `scripts/check.sh` gate is skipped.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ lives one level below the workspace root");
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let findings = dmw_lint::lint_workspace(root).expect("workspace sources are readable");
+    assert!(
+        findings.is_empty(),
+        "dmw-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's benchmark targets compiling and smoke-runnable
+//! without network access. Under `cargo bench` (cargo passes `--bench`)
+//! each benchmark body executes a handful of timed iterations and prints
+//! a single mean-time line — enough to compare hot paths coarsely.
+//! Under `cargo test` (no `--bench` flag) the harness exits immediately
+//! so bench bodies never slow the test suite down. Statistical analysis,
+//! HTML reports, and baselines need the real crate.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+    run: bool,
+}
+
+impl Criterion {
+    /// Builder entry point, mirroring `Criterion::default()`.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    #[doc(hidden)]
+    pub fn enable_run(mut self, run: bool) -> Self {
+        self.run = run;
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.effective_samples();
+        if self.run {
+            run_one(id, samples, &mut f);
+        }
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Records the throughput unit (accepted and ignored by the stub).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.criterion.effective_samples();
+        if self.criterion.run {
+            let label = format!("{}/{}", self.name, id);
+            run_one(&label, samples, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.criterion.effective_samples();
+        if self.criterion.run {
+            let label = format!("{}/{}", self.name, id);
+            run_one(&label, samples, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mean = bencher.total_nanos.checked_div(bencher.iters).unwrap_or(0);
+    println!("bench {label}: {mean} ns/iter (n={})", bencher.iters);
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Identifier combining a function name and a parameter label.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Throughput annotations (accepted and ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a benchmark group, in either criterion invocation form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(run: bool) {
+            let mut criterion: $crate::Criterion = $config;
+            criterion = criterion.enable_run(run);
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary.
+///
+/// Benchmarks execute only under `cargo bench` (which passes `--bench`);
+/// under `cargo test` the binary exits immediately, so the stubbed
+/// benches never slow the suite.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let run = std::env::args().any(|a| a == "--bench");
+            $( $group(run); )+
+        }
+    };
+}

@@ -1,0 +1,349 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. Rather than stubbing the property tests out of
+//! existence, this crate implements a small working property-testing
+//! core with the API subset the DMW workspace uses, so every
+//! `proptest! { ... }` block still *runs* as a real randomized test:
+//!
+//! * [`Strategy`] — sampled with a deterministic, per-test seeded RNG
+//!   (FNV-1a over the test's module path and name), so failures are
+//!   reproducible run-over-run.
+//! * Integer and float range strategies, [`collection::vec`],
+//!   [`num::u8::ANY`], [`Just`], and [`Strategy::prop_map`].
+//! * [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assume!`], and `#![proptest_config(..)]`.
+//!
+//! Differences from upstream, by design: no shrinking (a failing case
+//! prints its seed context via the panic message instead), no
+//! persistence files, and a default of 64 cases rather than 256 to keep
+//! offline CI fast. Tests that set an explicit
+//! `ProptestConfig::with_cases(n)` run exactly `n` cases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-run configuration, selected with `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a over the test's full name.
+#[doc(hidden)]
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A generator of random values for one property-test parameter.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i32, i64, isize, f64);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `size` and elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    //! Full-domain numeric strategies.
+
+    macro_rules! any_mod {
+        ($($m:ident: $t:ty),*) => {$(
+            pub mod $m {
+                use crate::{StdRng, Strategy};
+                use rand::RngCore;
+
+                /// Full-domain strategy for this integer type.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Uniform over the whole domain, like `proptest::num::*::ANY`.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut StdRng) -> $t {
+                        const _: () = assert!(<$t>::BITS <= 64);
+                        // Truncation is the point: take the low bits of
+                        // one 64-bit word of the stream.
+                        <$t>::try_from(rng.next_u64() & (<$t>::MAX as u64))
+                            .unwrap_or(<$t>::MAX)
+                    }
+                }
+            }
+        )*};
+    }
+
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64);
+}
+
+pub mod bool {
+    //! Full-domain `bool` strategy.
+
+    use crate::{StdRng, Strategy};
+    use rand::RngCore;
+
+    /// Full-domain strategy for `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair coin, like `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Compatibility alias module (upstream exposes `Config` here).
+    pub use super::ProptestConfig as Config;
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` block needs in scope.
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Defines property tests. See the crate docs for supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::Strategy::sample(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn explicit_config_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+
+        #[test]
+        fn second_fn_in_block_also_expands(v in crate::collection::vec(0u64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_and_assume_work(k in (0usize..=10).prop_map(|k| k * 2)) {
+            prop_assume!(k > 0);
+            prop_assert_eq!(k % 2, 0);
+            prop_assert_ne!(k, 1);
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_and_name_sensitive() {
+        use crate::Strategy;
+        let mut a = crate::test_rng("mod::a");
+        let mut b = crate::test_rng("mod::a");
+        let mut c = crate::test_rng("mod::c");
+        let strat = 0u64..u64::MAX;
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        assert_ne!(strat.sample(&mut a), strat.sample(&mut c));
+    }
+
+    #[test]
+    fn byte_any_covers_domain() {
+        use crate::Strategy;
+        let mut rng = crate::test_rng("bytes");
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[usize::from(crate::num::u8::ANY.sample(&mut rng))] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 250);
+    }
+}

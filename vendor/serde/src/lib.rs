@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its protocol and experiment types with
+//! `#[derive(Serialize, Deserialize)]` so a future wire/storage layer can
+//! serialize them, but nothing in-tree performs serialization yet (there
+//! is no `serde_json`/`bincode` dependency). With no network access the
+//! real crate cannot be fetched, so this stub keeps the annotations
+//! compiling: the traits exist as markers and the derives expand to
+//! nothing. When a serializer lands, replace this stub with a real
+//! vendored `serde` — no source changes will be needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+pub mod de {
+    //! Deserialization-side re-exports.
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! Expanding to an empty token stream is sound for a *derive* macro: the
+//! annotated item itself is untouched and no trait impl is generated.
+//! The `serde` helper attribute is registered so `#[serde(...)]` field
+//! attributes in the workspace keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
