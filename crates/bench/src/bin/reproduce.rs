@@ -31,6 +31,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("ablation-c", experiments::ablation_c::run),
     ("ablation-quantize", experiments::ablation_quantize::run),
     ("ablation-batch", experiments::ablation_batch::run),
+    ("batch-engine", experiments::batch::run),
     ("vcg", experiments::extensions::vcg),
     ("randomized-two", experiments::extensions::randomized_two),
     (

@@ -7,8 +7,8 @@
 //! * the adversarial instance family — the ratio approaches `n` exactly,
 //!   showing the bound is tight.
 
-use super::rng;
 use crate::table::Report;
+use dmw::batch::BatchRunner;
 use dmw_mechanism::generators::{adversarial_makespan, uniform};
 use dmw_mechanism::objectives::{optimal_sum_completion_times, sum_completion_times};
 use dmw_mechanism::optimal::optimal_makespan;
@@ -16,25 +16,29 @@ use dmw_mechanism::MinWork;
 
 /// Builds the approximation-ratio report.
 pub fn run(seed: u64) -> Report {
-    let mut r = rng(seed);
     let mechanism = MinWork::default();
+    let engine = BatchRunner::new();
     let mut report = Report::new("n-approximation of the makespan (MinWork vs exact optimum)");
     report.note("MinWork minimizes total work; its makespan is at most n times the optimum, and the adversarial family shows the factor is tight.");
 
-    // Random instances.
+    // Random instances: each trial draws from its own seeded stream and
+    // solves an independent exact optimum, so the sweep fans across the
+    // batch engine.
     let mut rows = Vec::new();
-    for &(n, m, trials) in &[(3usize, 4usize, 60u32), (4, 4, 60), (5, 5, 40)] {
-        let mut worst: f64 = 0.0;
-        let mut sum = 0.0;
-        for _ in 0..trials {
-            let t = uniform(n, m, 1..=20, &mut r).expect("valid shape");
+    for (shape, &(n, m, trials)) in [(3usize, 4usize, 60u32), (4, 4, 60), (5, 5, 40)]
+        .iter()
+        .enumerate()
+    {
+        let jobs: Vec<u32> = (0..trials).collect();
+        let ratios = engine.execute(seed ^ ((shape as u64) << 32), &jobs, |_, _, r| {
+            let t = uniform(n, m, 1..=20, r).expect("valid shape");
             let mw = mechanism.run(&t).expect("valid matrix");
             let got = mw.schedule.makespan(&t).expect("same shape") as f64;
             let opt = optimal_makespan(&t).expect("small instance").makespan as f64;
-            let ratio = got / opt;
-            worst = worst.max(ratio);
-            sum += ratio;
-        }
+            got / opt
+        });
+        let worst = ratios.iter().copied().fold(0.0f64, f64::max);
+        let sum: f64 = ratios.iter().sum();
         rows.push(vec![
             format!("{n}x{m}"),
             trials.to_string(),
@@ -49,20 +53,21 @@ pub fn run(seed: u64) -> Report {
         rows,
     );
 
-    // Adversarial family: ratio -> n.
-    let mut rows = Vec::new();
-    for &n in &[2usize, 3, 4, 5, 6, 8] {
+    // Adversarial family: ratio -> n. Deterministic per size, a plain
+    // parallel map.
+    let sizes = [2usize, 3, 4, 5, 6, 8];
+    let rows: Vec<Vec<String>> = engine.map(&sizes, |_, &n| {
         let t = adversarial_makespan(n, 100).expect("valid family");
         let mw = mechanism.run(&t).expect("valid matrix");
         let got = mw.schedule.makespan(&t).expect("same shape") as f64;
         let opt = optimal_makespan(&t).expect("small instance").makespan as f64;
-        rows.push(vec![
+        vec![
             n.to_string(),
             format!("{got}"),
             format!("{opt}"),
             format!("{:.3}", got / opt),
-        ]);
-    }
+        ]
+    });
     report.table(
         "adversarial family (all tasks marginally cheapest on one machine)",
         &[
@@ -78,18 +83,17 @@ pub fn run(seed: u64) -> Report {
     // polynomially solvable exactly (min-cost matching), so the gap is
     // measured against the true optimum at larger sizes.
     let mut rows = Vec::new();
-    for &(n, m, trials) in &[(4usize, 6usize, 40u32), (6, 10, 30)] {
-        let mut sum_ratio = 0.0;
-        let mut worst: f64 = 0.0;
-        for _ in 0..trials {
-            let t = uniform(n, m, 1..=20, &mut r).expect("valid shape");
+    for (shape, &(n, m, trials)) in [(4usize, 6usize, 40u32), (6, 10, 30)].iter().enumerate() {
+        let jobs: Vec<u32> = (0..trials).collect();
+        let ratios = engine.execute(seed ^ ((shape as u64) << 48), &jobs, |_, _, r| {
+            let t = uniform(n, m, 1..=20, r).expect("valid shape");
             let mw = mechanism.run(&t).expect("valid matrix");
             let got = sum_completion_times(&mw.schedule, &t).expect("same shape") as f64;
             let (_, opt) = optimal_sum_completion_times(&t).expect("valid shape");
-            let ratio = got / opt as f64;
-            sum_ratio += ratio;
-            worst = worst.max(ratio);
-        }
+            got / opt as f64
+        });
+        let worst = ratios.iter().copied().fold(0.0f64, f64::max);
+        let sum_ratio: f64 = ratios.iter().sum();
         rows.push(vec![
             format!("{n}x{m}"),
             trials.to_string(),

@@ -1,0 +1,298 @@
+//! BATCH — the parallel batch-execution engine: determinism evidence for
+//! `reproduce`, and the wall-clock/throughput baseline behind
+//! `BENCH_batch.json`.
+//!
+//! The workload is the natural unit of the paper's evaluation: many
+//! independent honest DMW runs over one published configuration (one
+//! deployment, thousands of auctions — the shape of every Section 5-style
+//! sweep). [`measure`] times the *same* trial batch at several thread
+//! counts and cross-checks that every width produces bit-identical
+//! results; [`Baseline::to_json`] serializes the measurement into the
+//! `dmw-bench-batch/v1` schema documented in `docs/benchmarks.md`.
+//!
+//! The [`run`] report (the `batch-engine` subcommand of `reproduce`)
+//! deliberately contains **no wall-clock numbers** so that
+//! `docs/reproduce_output.md` stays deterministic; timings belong to the
+//! `bench_batch` binary and its committed `BENCH_batch.json`.
+
+use super::{config, random_bids, rng};
+use crate::table::Report;
+use dmw::batch::{BatchRunner, TrialSpec};
+use dmw::runner::{DmwRun, DmwRunner};
+use dmw::DmwError;
+use dmw_simnet::NetworkStats;
+use std::time::Instant;
+
+/// The workload shape of one baseline measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Agents `n`.
+    pub agents: usize,
+    /// Tolerated faults `c`.
+    pub faults: usize,
+    /// Tasks `m` per trial.
+    pub tasks: usize,
+    /// Independent honest trials in the batch.
+    pub trials: usize,
+}
+
+/// One thread-count timing of the same trial batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadMeasurement {
+    /// Worker threads the batch fanned over.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_secs: f64,
+    /// Completed trials per second.
+    pub trials_per_sec: f64,
+    /// Sequential (1-thread) wall time divided by this run's wall time.
+    pub speedup_vs_sequential: f64,
+}
+
+/// A measured baseline: the artifact `BENCH_batch.json` records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// The experiment seed (trial streams derive from it).
+    pub seed: u64,
+    /// The measured workload.
+    pub workload: Workload,
+    /// `std::thread::available_parallelism()` on the measuring host — the
+    /// hard ceiling on any honest speedup.
+    pub host_parallelism: usize,
+    /// Per-thread-count timings, in the order measured (first entry is
+    /// the sequential reference).
+    pub runs: Vec<ThreadMeasurement>,
+    /// Whether every thread count produced bit-identical results
+    /// (schedules, payments, traces, traffic counters).
+    pub bit_identical: bool,
+    /// Trials that completed (the honest workload completes all).
+    pub completed_trials: usize,
+    /// Whole-batch traffic, aggregated over every trial.
+    pub traffic: NetworkStats,
+}
+
+/// Runs `trials` honest trials through [`BatchRunner`] at each requested
+/// thread count, timing each pass over the identical batch, and
+/// cross-checks the results for bit-identity.
+///
+/// The first entry of `thread_counts` is the sequential reference every
+/// speedup is computed against (pass `1` first; [`measure`] does not
+/// reorder).
+///
+/// # Panics
+///
+/// Panics on invalid workload shapes — harness callers pass valid ones.
+pub fn measure(seed: u64, workload: Workload, thread_counts: &[usize]) -> Baseline {
+    let mut r = rng(seed);
+    let cfg = config(workload.agents, workload.faults, &mut r);
+    let runner = DmwRunner::new(cfg);
+    let trials: Vec<TrialSpec> = (0..workload.trials)
+        .map(|_| TrialSpec::honest(random_bids(runner.config(), workload.tasks, &mut r)))
+        .collect();
+
+    let mut runs = Vec::new();
+    let mut reference: Option<Vec<Result<DmwRun, DmwError>>> = None;
+    let mut sequential_wall = None;
+    let mut bit_identical = true;
+    for &threads in thread_counts {
+        let engine = BatchRunner::with_threads(threads);
+        let started = Instant::now();
+        let results = engine.run_trials(&runner, seed, &trials);
+        let wall_secs = started.elapsed().as_secs_f64();
+        let sequential = *sequential_wall.get_or_insert(wall_secs);
+        runs.push(ThreadMeasurement {
+            threads: engine.threads(),
+            wall_secs,
+            trials_per_sec: workload.trials as f64 / wall_secs,
+            speedup_vs_sequential: sequential / wall_secs,
+        });
+        match &reference {
+            Some(reference) => bit_identical &= equal_outcomes(reference, &results),
+            None => reference = Some(results),
+        }
+    }
+
+    let reference = reference.unwrap_or_default();
+    let completed_trials = reference
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(DmwRun::is_completed))
+        .count();
+    let traffic = reference
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(|run| run.network))
+        .sum();
+    Baseline {
+        seed,
+        workload,
+        host_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        runs,
+        bit_identical,
+        completed_trials,
+        traffic,
+    }
+}
+
+/// Full-artifact equality of two batch results: run results, traffic
+/// counters and message traces.
+fn equal_outcomes(a: &[Result<DmwRun, DmwError>], b: &[Result<DmwRun, DmwError>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Ok(x), Ok(y)) => x.result == y.result && x.network == y.network && x.trace == y.trace,
+            (Err(x), Err(y)) => x == y,
+            _ => false,
+        })
+}
+
+impl Baseline {
+    /// Serializes to the `dmw-bench-batch/v1` JSON schema (see
+    /// `docs/benchmarks.md`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"dmw-bench-batch/v1\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"workload\": {\n");
+        out.push_str("    \"experiment\": \"honest-trial-sweep\",\n");
+        out.push_str(&format!("    \"agents\": {},\n", self.workload.agents));
+        out.push_str(&format!("    \"faults\": {},\n", self.workload.faults));
+        out.push_str(&format!("    \"tasks\": {},\n", self.workload.tasks));
+        out.push_str(&format!("    \"trials\": {}\n", self.workload.trials));
+        out.push_str("  },\n");
+        out.push_str("  \"host\": {\n");
+        out.push_str(&format!("    \"os\": \"{}\",\n", std::env::consts::OS));
+        out.push_str(&format!(
+            "    \"available_parallelism\": {}\n",
+            self.host_parallelism
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"runs\": [\n");
+        let rows: Vec<String> = self
+            .runs
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{ \"threads\": {}, \"wall_secs\": {:.6}, \"trials_per_sec\": {:.2}, \"speedup_vs_sequential\": {:.3} }}",
+                    m.threads, m.wall_secs, m.trials_per_sec, m.speedup_vs_sequential
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ],\n");
+        out.push_str(&format!(
+            "  \"completed_trials\": {},\n",
+            self.completed_trials
+        ));
+        out.push_str("  \"aggregate_traffic\": {\n");
+        out.push_str(&format!(
+            "    \"messages\": {},\n",
+            self.traffic.point_to_point
+        ));
+        out.push_str(&format!("    \"bytes\": {}\n", self.traffic.bytes));
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"bit_identical_across_thread_counts\": {}\n",
+            self.bit_identical
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Builds the deterministic `batch-engine` report: engine composition,
+/// determinism evidence and aggregate traffic — no wall-clock numbers
+/// (those live in `BENCH_batch.json`; see the module docs).
+pub fn run(seed: u64) -> Report {
+    let workload = Workload {
+        agents: 6,
+        faults: 1,
+        tasks: 3,
+        trials: 24,
+    };
+    let baseline = measure(seed, workload, &[1, 2, 8]);
+    let mut report = Report::new(
+        "Batch engine — thread-count-invariant parallel execution of independent trials",
+    );
+    report.note("Every trial draws from a private stream seeded by trial_seed(batch_seed, index), so results are bit-identical whatever the thread count.");
+    report.note("Wall-clock numbers are deliberately omitted here; regenerate BENCH_batch.json with the bench_batch binary — schema and interpretation in [benchmarks.md](benchmarks.md).");
+    let rows = vec![vec![
+        format!(
+            "{}x{} (c = {})",
+            workload.agents, workload.tasks, workload.faults
+        ),
+        workload.trials.to_string(),
+        baseline.completed_trials.to_string(),
+        baseline
+            .runs
+            .iter()
+            .map(|m| m.threads.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        if baseline.bit_identical { "yes" } else { "NO" }.to_string(),
+        baseline.traffic.point_to_point.to_string(),
+        baseline.traffic.bytes.to_string(),
+    ]];
+    report.table(
+        "honest-trial sweep, identical batch at several widths",
+        &[
+            "shape",
+            "trials",
+            "completed",
+            "widths checked",
+            "bit-identical",
+            "total messages",
+            "total bytes",
+        ],
+        rows,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_is_deterministic_and_bit_identical() {
+        let workload = Workload {
+            agents: 4,
+            faults: 0,
+            tasks: 2,
+            trials: 6,
+        };
+        let baseline = measure(5, workload, &[1, 2, 8]);
+        assert!(baseline.bit_identical);
+        assert_eq!(baseline.completed_trials, 6);
+        assert_eq!(baseline.runs.len(), 3);
+        assert!((baseline.runs[0].speedup_vs_sequential - 1.0).abs() < 1e-9);
+        assert!(baseline.traffic.point_to_point > 0);
+    }
+
+    #[test]
+    fn json_has_the_v1_shape() {
+        let workload = Workload {
+            agents: 4,
+            faults: 0,
+            tasks: 1,
+            trials: 3,
+        };
+        let json = measure(6, workload, &[1, 2]).to_json();
+        for needle in [
+            "\"schema\": \"dmw-bench-batch/v1\"",
+            "\"trials\": 3",
+            "\"threads\": 2",
+            "\"speedup_vs_sequential\"",
+            "\"bit_identical_across_thread_counts\": true",
+            "\"available_parallelism\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn report_renders_with_determinism_evidence() {
+        let report = run(9);
+        let rendered = report.render();
+        assert!(rendered.contains("bit-identical"));
+        assert!(rendered.contains("yes"));
+    }
+}

@@ -9,6 +9,7 @@
 
 use super::{config, log_log_slope, random_bids, rng};
 use crate::table::Report;
+use dmw::batch::BatchRunner;
 use dmw::obedient::{run_obedient, LeaderBehavior};
 use dmw::runner::DmwRunner;
 
@@ -47,14 +48,15 @@ pub fn run(seed: u64) -> Report {
 
     report.note("The obedient-leader column is the Open Problem 10 strawman: Θ(mn)-cheap but unverifiable trust in the leader.");
 
+    let engine = BatchRunner::new();
     let c = 1usize;
-    // Sweep n at fixed m.
+    // Sweep n at fixed m. Every sweep point seeds its own streams (the
+    // original per-point seeds), so fanning them across the engine leaves
+    // each measurement byte-identical to a sequential run.
     let m = 4usize;
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    for &n in &[4usize, 6, 8, 12, 16, 24, 32] {
+    let n_sweep = [4usize, 6, 8, 12, 16, 24, 32];
+    let measurements = engine.map(&n_sweep, |_, &n| {
         let stats = dmw_traffic(n, c, m, seed + n as u64);
-        let centralized = centralized_values(n, m);
         let obedient = {
             let mut r = rng(seed + 1000 + n as u64);
             let cfg = config(n, c, &mut r);
@@ -64,6 +66,12 @@ pub fn run(seed: u64) -> Report {
                 .network
                 .point_to_point
         };
+        (stats, obedient)
+    });
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for (&n, (stats, obedient)) in n_sweep.iter().zip(&measurements) {
+        let centralized = centralized_values(n, m);
         points.push((n as f64, stats.point_to_point as f64));
         rows.push(vec![
             n.to_string(),
@@ -84,10 +92,13 @@ pub fn run(seed: u64) -> Report {
 
     // Sweep m at fixed n.
     let n = 8usize;
+    let m_sweep = [1usize, 2, 4, 8, 16, 32];
+    let measurements = engine.map(&m_sweep, |_, &m| {
+        dmw_traffic(n, c, m, seed + 100 + m as u64)
+    });
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    for &m in &[1usize, 2, 4, 8, 16, 32] {
-        let stats = dmw_traffic(n, c, m, seed + 100 + m as u64);
+    for (&m, stats) in m_sweep.iter().zip(&measurements) {
         let centralized = centralized_values(n, m);
         points.push((m as f64, stats.point_to_point as f64));
         rows.push(vec![

@@ -6,6 +6,7 @@
 
 use super::{config, random_bids, rng};
 use crate::table::Report;
+use dmw::batch::BatchRunner;
 use dmw::runner::DmwRunner;
 use dmw::trace::{kind_histogram, render_sequence_chart};
 
@@ -15,8 +16,12 @@ pub fn run(seed: u64) -> Report {
     let n = 4;
     let cfg = config(n, 0, &mut r);
     let bids = random_bids(&cfg, 1, &mut r);
-    let run = DmwRunner::new(cfg)
-        .run_honest(&bids, &mut r)
+    let runner = DmwRunner::new(cfg);
+    let run = BatchRunner::new()
+        .run_honest(&runner, seed, &[bids])
+        .into_iter()
+        .next()
+        .expect("one trial submitted")
         .expect("valid run");
     assert!(run.is_completed());
 

@@ -4,6 +4,7 @@ pub mod ablation_batch;
 pub mod ablation_c;
 pub mod ablation_quantize;
 pub mod approx;
+pub mod batch;
 pub mod comm;
 pub mod comp;
 pub mod equivalence;

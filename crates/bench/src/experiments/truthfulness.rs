@@ -7,6 +7,7 @@
 
 use super::rng;
 use crate::table::Report;
+use dmw::batch::BatchRunner;
 use dmw_mechanism::audit::{exhaustive_truthfulness, randomized_truthfulness};
 use dmw_mechanism::{AgentId, MinWork};
 
@@ -14,27 +15,29 @@ use dmw_mechanism::{AgentId, MinWork};
 pub fn run(seed: u64) -> Report {
     let mut r = rng(seed);
     let mechanism = MinWork::default();
+    let engine = BatchRunner::new();
     let mut report = Report::new("Theorem 2 — MinWork truthfulness (misreport search)");
     report.note("Utility of every unilateral misreport compared against truth-telling; a truthful mechanism yields zero violations.");
 
-    // Randomized search across instance shapes.
+    // Randomized search across instance shapes. Each instance is an
+    // independent audit drawing from its own seeded stream, so the whole
+    // shape fans across the batch engine.
     let mut rows = Vec::new();
-    for &(n, m, instances, samples) in &[
+    for (shape, &(n, m, instances, samples)) in [
         (3usize, 2usize, 40u32, 60u32),
         (5, 3, 30, 60),
         (8, 4, 20, 60),
-    ] {
-        let mut checked = 0u64;
-        let mut violations = 0usize;
-        for i in 0..instances {
-            let truth =
-                dmw_mechanism::generators::uniform(n, m, 1..=12, &mut r).expect("valid shape");
-            let audit = randomized_truthfulness(&mechanism, &truth, 15, samples, &mut r)
-                .expect("audit runs");
-            checked += audit.deviations_checked;
-            violations += audit.violations.len();
-            let _ = i;
-        }
+    ]
+    .iter()
+    .enumerate()
+    {
+        let jobs: Vec<u32> = (0..instances).collect();
+        let audits = engine.execute(seed ^ ((shape as u64) << 32), &jobs, |_, _, r| {
+            let truth = dmw_mechanism::generators::uniform(n, m, 1..=12, r).expect("valid shape");
+            randomized_truthfulness(&mechanism, &truth, 15, samples, r).expect("audit runs")
+        });
+        let checked: u64 = audits.iter().map(|a| a.deviations_checked).sum();
+        let violations: usize = audits.iter().map(|a| a.violations.len()).sum();
         rows.push(vec![
             format!("{n}x{m}"),
             instances.to_string(),
@@ -53,19 +56,25 @@ pub fn run(seed: u64) -> Report {
         rows,
     );
 
-    // Exhaustive search on a small grid.
+    // Exhaustive search on a small grid: deterministic per agent, so the
+    // three audits fan across the engine as plain parallel map jobs.
     let truth = dmw_mechanism::generators::uniform(3, 2, 1..=6, &mut r).expect("valid shape");
     let grid: Vec<u64> = (1..=8).collect();
-    let mut rows = Vec::new();
-    for agent in 0..3 {
-        let audit =
-            exhaustive_truthfulness(&mechanism, &truth, AgentId(agent), &grid).expect("audit runs");
-        rows.push(vec![
-            AgentId(agent).to_string(),
-            audit.deviations_checked.to_string(),
-            audit.violations.len().to_string(),
-        ]);
-    }
+    let agents = [0usize, 1, 2];
+    let audits = engine.map(&agents, |_, &agent| {
+        exhaustive_truthfulness(&mechanism, &truth, AgentId(agent), &grid).expect("audit runs")
+    });
+    let rows = agents
+        .iter()
+        .zip(&audits)
+        .map(|(&agent, audit)| {
+            vec![
+                AgentId(agent).to_string(),
+                audit.deviations_checked.to_string(),
+                audit.violations.len().to_string(),
+            ]
+        })
+        .collect();
     report.table(
         "exhaustive misreport search (3x2 instance, bid grid 1..=8)",
         &["agent", "misreports checked", "violations"],

@@ -37,7 +37,7 @@ use crate::config::DmwConfig;
 use crate::error::AbortReason;
 use crate::messages::Body;
 use crate::strategy::{Behavior, VerificationPolicy};
-use dmw_crypto::commitments::verify_shares;
+use dmw_crypto::commitments::verify_shares_batch;
 use dmw_crypto::polynomials::{BidPolynomials, ShareBundle};
 use dmw_crypto::resolution::{
     compute_lambda_psi, exclude_winner, identify_winner, resolve_min_bid, verify_claimed_f_point,
@@ -149,6 +149,9 @@ pub struct DmwAgent {
     faulty: Vec<bool>,
     /// My computed payment claim (bid units), present once Done.
     claim: Option<Vec<u64>>,
+    /// Threads the Phase III.1 share-verification batch fans over
+    /// (`1` = sequential, the default).
+    verify_width: usize,
 }
 
 impl DmwAgent {
@@ -207,7 +210,18 @@ impl DmwAgent {
             alive: vec![false; n],
             faulty: vec![false; n],
             claim: None,
+            verify_width: 1,
         }
+    }
+
+    /// Sets how many threads the Phase III.1 share-verification batch
+    /// fans over. Width never changes what is detected — see
+    /// [`dmw_crypto::commitments::verify_shares_batch`] — only how fast;
+    /// `1` (the default) keeps verification on the agent's own thread.
+    #[must_use]
+    pub fn with_verify_width(mut self, width: usize) -> Self {
+        self.verify_width = width.max(1);
+        self
     }
 
     /// Current lifecycle status.
@@ -439,23 +453,41 @@ impl DmwAgent {
             );
             return;
         }
-        // Verify every live sender's bundle (III.1, eqs (7)–(9)).
+        // Verify every live sender's bundle (III.1, eqs (7)–(9)). The
+        // (task, sender) checks are independent, so they are submitted as
+        // one batch and fanned over `verify_width` threads; the batch
+        // reports the first failure in the same row-major (task, sender)
+        // order the sequential loop scanned, so detection is
+        // width-invariant.
         let group = *self.config.group();
         let my_alpha = self.config.pseudonym(self.me);
-        for task in 0..self.m() {
-            for l in 0..self.n() {
-                if !self.alive[l] || l == self.me {
-                    continue;
-                }
-                let bundle = self.tasks[task].bundles[l].invariant("alive implies present");
-                let commitments = self.tasks[task].commitments[l]
-                    .as_ref()
-                    .invariant("alive implies present");
-                if verify_shares(&group, commitments, my_alpha, &bundle).is_err() {
-                    self.abort(AbortReason::InvalidShares { sender: l }, out);
-                    return;
+        let bad_sender = {
+            let mut items = Vec::new();
+            let mut senders = Vec::new();
+            for task in 0..self.m() {
+                for l in 0..self.n() {
+                    if !self.alive[l] || l == self.me {
+                        continue;
+                    }
+                    let bundle = self.tasks[task].bundles[l].invariant("alive implies present");
+                    let commitments = self.tasks[task].commitments[l]
+                        .as_ref()
+                        .invariant("alive implies present");
+                    items.push((commitments, bundle));
+                    senders.push(l);
                 }
             }
+            verify_shares_batch(&group, my_alpha, &items, self.verify_width)
+                .err()
+                .map(|failure| {
+                    *senders
+                        .get(failure.index)
+                        .invariant("batch failure indexes a submitted item")
+                })
+        };
+        if let Some(sender) = bad_sender {
+            self.abort(AbortReason::InvalidShares { sender }, out);
+            return;
         }
         if matches!(self.behavior, Behavior::SilentAfterBidding) {
             return;

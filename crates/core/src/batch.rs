@@ -1,0 +1,311 @@
+//! The batch-execution engine: fans independent protocol trials across a
+//! thread pool with deterministic per-trial RNG streams.
+//!
+//! Both the paper's mechanism and its evaluation are embarrassingly
+//! parallel: DMW sells each of the `m` tasks in an *independent*
+//! distributed Vickrey auction (Section 4), and the Section 5 experiments
+//! are thousands of independent randomized trials. [`BatchRunner`] exploits
+//! that structure without giving up replayability:
+//!
+//! * every trial draws from a private [`StdRng`] seeded by
+//!   [`crate::config::trial_seed`]`(batch_seed, index)` — a pure function
+//!   of the batch seed and the trial's submission index — so the results
+//!   are **bit-identical whatever the thread count** (the
+//!   `batch_determinism` integration test pins this down for widths 1, 2
+//!   and 8);
+//! * results are returned **in submission order**, regardless of which
+//!   worker computed which trial and in what order trials finished;
+//! * within a trial, [`crate::runner::DmwRunner::with_verify_threads`] can
+//!   additionally fan the Phase III.1 share-verification work
+//!   ([`dmw_crypto::commitments::verify_shares_batch`]) across the pool.
+//!
+//! [`BatchRunner::run_trials`] submits protocol trials against a fixed
+//! [`DmwRunner`]; the generic [`BatchRunner::map`] / [`BatchRunner::execute`]
+//! fan arbitrary jobs (the `dmw-bench` experiment sweeps go through these,
+//! since each sweep point regenerates its own configuration).
+//!
+//! # Example: a deterministic honest sweep
+//!
+//! ```
+//! use dmw::batch::BatchRunner;
+//! use dmw::config::DmwConfig;
+//! use dmw::runner::DmwRunner;
+//! use dmw_mechanism::ExecutionTimes;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let runner = DmwRunner::new(DmwConfig::generate(4, 0, &mut rng)?);
+//! let instances: Vec<ExecutionTimes> = vec![
+//!     ExecutionTimes::from_rows(vec![vec![2], vec![1], vec![3], vec![2]])?,
+//!     ExecutionTimes::from_rows(vec![vec![1], vec![2], vec![2], vec![3]])?,
+//! ];
+//! let wide = BatchRunner::with_threads(8).run_honest(&runner, 42, &instances);
+//! let narrow = BatchRunner::with_threads(1).run_honest(&runner, 42, &instances);
+//! // Same batch seed -> same outcomes, whatever the thread count.
+//! for (w, n) in wide.iter().zip(&narrow) {
+//!     assert_eq!(
+//!         w.as_ref().unwrap().completed()?.schedule,
+//!         n.as_ref().unwrap().completed()?.schedule,
+//!     );
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::config::trial_seed;
+use crate::error::DmwError;
+use crate::runner::{DmwRun, DmwRunner};
+use crate::strategy::Behavior;
+use dmw_mechanism::ExecutionTimes;
+use dmw_simnet::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// One trial submitted to [`BatchRunner::run_trials`]: a bid matrix plus
+/// optional per-agent behaviors and an optional network fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// The bid matrix (rows index agents, columns tasks).
+    pub bids: ExecutionTimes,
+    /// Per-agent behaviors; `None` means every agent follows the
+    /// suggested strategy.
+    pub behaviors: Option<Vec<Behavior>>,
+    /// The injected network faults; `None` means a fault-free network.
+    pub faults: Option<FaultPlan>,
+}
+
+impl TrialSpec {
+    /// An honest, fault-free trial over `bids`.
+    pub fn honest(bids: ExecutionTimes) -> Self {
+        TrialSpec {
+            bids,
+            behaviors: None,
+            faults: None,
+        }
+    }
+
+    /// Sets per-agent behaviors (length must match the runner's `n`).
+    #[must_use]
+    pub fn with_behaviors(mut self, behaviors: Vec<Behavior>) -> Self {
+        self.behaviors = Some(behaviors);
+        self
+    }
+
+    /// Sets the network fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// Fans independent jobs across a configurable thread pool, with
+/// deterministic seeding and submission-order results.
+///
+/// See the [module docs](self) for the determinism contract.
+#[derive(Debug)]
+pub struct BatchRunner {
+    pool: rayon::ThreadPool,
+    threads: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// A batch runner over all available hardware parallelism.
+    pub fn new() -> Self {
+        BatchRunner::with_threads(0)
+    }
+
+    /// A batch runner over exactly `threads` workers; `0` means "all
+    /// available hardware parallelism".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying thread pool cannot be built — that only
+    /// happens when the host refuses to spawn threads, which no caller
+    /// can meaningfully handle.
+    pub fn with_threads(threads: usize) -> Self {
+        let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            Ok(pool) => pool,
+            Err(e) => panic!("batch thread pool: {e}"),
+        };
+        let threads = pool.current_num_threads();
+        BatchRunner { pool, threads }
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(index, &job)` for every job, fanning across the pool, and
+    /// returns the results in submission order.
+    ///
+    /// This is the deterministic-order parallel-map primitive everything
+    /// else builds on: `f` receives the job's submission index, so any
+    /// seeding derived from it is independent of thread scheduling.
+    pub fn map<T, R, F>(&self, jobs: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Send + Sync,
+    {
+        self.pool.install(|| {
+            jobs.par_iter()
+                .enumerate()
+                .map(|(i, job)| f(i, job))
+                .collect()
+        })
+    }
+
+    /// Like [`BatchRunner::map`], additionally handing `f` a private RNG
+    /// seeded from [`trial_seed`]`(batch_seed, index)`.
+    pub fn execute<T, R, F>(&self, batch_seed: u64, jobs: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, &mut StdRng) -> R + Send + Sync,
+    {
+        self.map(jobs, |i, job| {
+            let mut rng = StdRng::seed_from_u64(trial_seed(batch_seed, i as u64));
+            f(i, job, &mut rng)
+        })
+    }
+
+    /// Runs every trial through `runner`, fanning across the pool.
+    ///
+    /// Trial `i` draws from a private stream seeded by
+    /// [`trial_seed`]`(batch_seed, i)`; the returned runs are in
+    /// submission order and bit-identical whatever the thread count. A
+    /// trial's shape/range errors are reported in its slot, not
+    /// propagated — one malformed trial must not poison a batch.
+    pub fn run_trials(
+        &self,
+        runner: &DmwRunner,
+        batch_seed: u64,
+        trials: &[TrialSpec],
+    ) -> Vec<Result<DmwRun, DmwError>> {
+        let n = runner.config().agents();
+        self.execute(batch_seed, trials, |_, trial, rng| {
+            let behaviors = match &trial.behaviors {
+                Some(behaviors) => behaviors.clone(),
+                None => vec![Behavior::Suggested; n],
+            };
+            let faults = match &trial.faults {
+                Some(faults) => faults.clone(),
+                None => FaultPlan::none(n),
+            };
+            runner.run(&trial.bids, &behaviors, faults, rng)
+        })
+    }
+
+    /// [`BatchRunner::run_trials`] over honest, fault-free trials.
+    pub fn run_honest(
+        &self,
+        runner: &DmwRunner,
+        batch_seed: u64,
+        instances: &[ExecutionTimes],
+    ) -> Vec<Result<DmwRun, DmwError>> {
+        let trials: Vec<TrialSpec> = instances
+            .iter()
+            .map(|bids| TrialSpec::honest(bids.clone()))
+            .collect();
+        self.run_trials(runner, batch_seed, &trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DmwConfig;
+
+    fn runner(n: usize, c: usize, seed: u64) -> DmwRunner {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DmwRunner::new(DmwConfig::generate(n, c, &mut rng).unwrap())
+    }
+
+    fn instances(count: usize, n: usize, m: usize, w_max: u64, seed: u64) -> Vec<ExecutionTimes> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| dmw_mechanism::generators::uniform(n, m, 1..=w_max, &mut rng).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let runner = runner(5, 1, 11);
+        let w_max = runner.config().encoding().w_max();
+        let batch = instances(6, 5, 2, w_max, 99);
+        let sequential = BatchRunner::with_threads(1).run_honest(&runner, 7, &batch);
+        let parallel = BatchRunner::with_threads(4).run_honest(&runner, 7, &batch);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.result, p.result);
+            assert_eq!(s.network, p.network);
+            assert_eq!(s.trace, p.trace);
+        }
+    }
+
+    #[test]
+    fn batch_matches_manual_sequential_replay() {
+        let runner = runner(4, 0, 12);
+        let w_max = runner.config().encoding().w_max();
+        let batch = instances(4, 4, 1, w_max, 5);
+        let results = BatchRunner::with_threads(3).run_honest(&runner, 31, &batch);
+        for (i, (bids, run)) in batch.iter().zip(&results).enumerate() {
+            let mut rng = StdRng::seed_from_u64(trial_seed(31, i as u64));
+            let replay = runner.run_honest(bids, &mut rng).unwrap();
+            assert_eq!(replay.result, run.as_ref().unwrap().result);
+        }
+    }
+
+    #[test]
+    fn trial_errors_stay_in_their_slot() {
+        let runner = runner(4, 0, 13);
+        // Second trial has the wrong number of agents.
+        let good = ExecutionTimes::from_rows(vec![vec![2], vec![1], vec![3], vec![2]]).unwrap();
+        let bad = ExecutionTimes::from_rows(vec![vec![1], vec![1]]).unwrap();
+        let trials = vec![TrialSpec::honest(good), TrialSpec::honest(bad)];
+        let results = BatchRunner::with_threads(2).run_trials(&runner, 1, &trials);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DmwError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn deviant_trials_abort_in_parallel_too() {
+        let runner = runner(4, 0, 14);
+        let bids = ExecutionTimes::from_rows(vec![vec![2], vec![1], vec![3], vec![2]]).unwrap();
+        let mut behaviors = vec![Behavior::Suggested; 4];
+        behaviors[1] = Behavior::TamperedCommitments;
+        let trials = vec![
+            TrialSpec::honest(bids.clone()),
+            TrialSpec::honest(bids).with_behaviors(behaviors),
+        ];
+        let results = BatchRunner::with_threads(2).run_trials(&runner, 3, &trials);
+        assert!(results[0].as_ref().unwrap().is_completed());
+        assert!(results[1].as_ref().unwrap().abort_reason().is_some());
+    }
+
+    #[test]
+    fn generic_execute_derives_independent_streams() {
+        let engine = BatchRunner::with_threads(4);
+        let jobs: Vec<u32> = (0..8).collect();
+        let draws = engine.execute(77, &jobs, |_, _, rng| {
+            use rand::Rng;
+            rng.gen::<u64>()
+        });
+        let replay = engine.execute(77, &jobs, |_, _, rng| {
+            use rand::Rng;
+            rng.gen::<u64>()
+        });
+        assert_eq!(draws, replay);
+        let distinct: std::collections::HashSet<_> = draws.iter().collect();
+        assert_eq!(distinct.len(), draws.len(), "streams must not collide");
+    }
+}

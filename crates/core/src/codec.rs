@@ -3,7 +3,7 @@
 //! The communication-cost experiment should count *real* bytes, not
 //! estimates, so every [`Body`] encodes to a compact binary form: a tag
 //! byte, little-endian `u64` residues, and `u32`-length-prefixed vectors
-//! (participation masks are bit-packed). [`Body::size_bytes`] — the
+//! (participation masks are bit-packed). `Body::size_bytes` — the
 //! quantity the network statistics accumulate — is the exact encoded
 //! length, and a round-trip property test pins `encode ∘ decode` to the
 //! identity.

@@ -149,6 +149,28 @@ pub(crate) fn agent_seed(run_seed: u64, me: usize) -> u64 {
     run_seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Derives the seed of one trial's private RNG stream from a batch seed —
+/// the seed-mixing contract of the batch engine
+/// ([`crate::batch::BatchRunner`]).
+///
+/// Trial `t` of a batch always draws from
+/// `StdRng::seed_from_u64(trial_seed(batch_seed, t))`, whatever thread
+/// executes it and in whatever order trials finish; this is what makes
+/// batch results bit-identical to running the trials sequentially. The
+/// construction is the same SplitMix64 machine arithmetic as
+/// `agent_seed`, run through the full finalizer (and offset by a
+/// distinct odd multiplier) so neighbouring trials share no low-bit
+/// structure and trial streams never collide with the per-agent streams
+/// derived inside a run.
+#[must_use]
+pub fn trial_seed(batch_seed: u64, trial: u64) -> u64 {
+    let mut z = batch_seed ^ trial.wrapping_mul(0xA076_1D64_78BD_642F);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

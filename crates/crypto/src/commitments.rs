@@ -198,6 +198,75 @@ pub fn verify_shares(
     Ok(())
 }
 
+/// A failure inside [`verify_shares_batch`]: which batch item failed, and
+/// the verification error it failed with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareBatchFailure {
+    /// Index of the failing item in the submitted batch.
+    pub index: usize,
+    /// The per-item verification error.
+    pub error: CryptoError,
+}
+
+/// Verifies a batch of `(commitments, bundle)` pairs at one evaluation
+/// point `alpha`, fanning the per-item work of equations (7)–(9) across
+/// `width` threads.
+///
+/// Phase III.1 is embarrassingly parallel: each received bundle is checked
+/// against its sender's commitments independently, across both tasks and
+/// senders. Whatever the width, the result is **bit-identical** to calling
+/// [`verify_shares`] in a sequential loop over `items`: every item is
+/// verified by a pure function of its inputs, and a failure reports the
+/// first failing item in submission order.
+///
+/// `width <= 1` short-circuits to the sequential loop (and keeps its
+/// early-exit behavior); parallel verification always checks the whole
+/// batch before scanning for the first failure.
+///
+/// # Errors
+///
+/// Returns [`ShareBatchFailure`] naming the first item (in submission
+/// order) whose verification failed, with the underlying
+/// [`CryptoError::ShareVerificationFailed`].
+pub fn verify_shares_batch(
+    group: &SchnorrGroup,
+    alpha: u64,
+    items: &[(&Commitments, ShareBundle)],
+    width: usize,
+) -> Result<(), ShareBatchFailure> {
+    if width <= 1 || items.len() <= 1 {
+        for (index, (commitments, bundle)) in items.iter().enumerate() {
+            if let Err(error) = verify_shares(group, commitments, alpha, bundle) {
+                return Err(ShareBatchFailure { index, error });
+            }
+        }
+        return Ok(());
+    }
+    let results: Vec<Result<(), CryptoError>> =
+        match rayon::ThreadPoolBuilder::new().num_threads(width).build() {
+            Ok(pool) => pool.install(|| {
+                use rayon::prelude::*;
+                items
+                    .par_iter()
+                    .map(|(commitments, bundle)| verify_shares(group, commitments, alpha, bundle))
+                    .collect()
+            }),
+            // A pool that cannot be built degrades to sequential verification.
+            Err(_) => items
+                .iter()
+                .map(|(commitments, bundle)| verify_shares(group, commitments, alpha, bundle))
+                .collect(),
+        };
+    match results
+        .into_iter()
+        .enumerate()
+        .find_map(|(index, result)| result.err().map(|error| ShareBatchFailure { index, error }))
+    {
+        Some(failure) => Err(failure),
+        None => Ok(()),
+    }
+}
+
 #[cfg(test)]
 #[allow(
     clippy::unwrap_used,
@@ -340,5 +409,38 @@ mod tests {
             commitments.phi(&group, alpha),
             group.commit(bundle.f, bundle.h)
         );
+    }
+
+    #[test]
+    fn batch_verification_is_width_invariant() {
+        let (group, encoding, mut rng) = setup();
+        let zq = group.zq();
+        let alpha = 9;
+        let committed: Vec<(Commitments, crate::polynomials::ShareBundle)> = (0..12)
+            .map(|i| {
+                let polys =
+                    BidPolynomials::generate(&group, &encoding, 1 + i % 3, &mut rng).unwrap();
+                let commitments = Commitments::commit(&group, &encoding, &polys);
+                let bundle = polys.share_for(&zq, alpha);
+                (commitments, bundle)
+            })
+            .collect();
+        let items: Vec<(&Commitments, crate::polynomials::ShareBundle)> =
+            committed.iter().map(|(c, b)| (c, *b)).collect();
+        for width in [1, 2, 8] {
+            assert!(verify_shares_batch(&group, alpha, &items, width).is_ok());
+        }
+        // Corrupt two items; every width must report the *first* one.
+        let mut corrupted = items.clone();
+        corrupted[3].1.e = zq.add(corrupted[3].1.e, 1);
+        corrupted[9].1.f = zq.add(corrupted[9].1.f, 1);
+        for width in [1, 2, 8] {
+            let failure = verify_shares_batch(&group, alpha, &corrupted, width).unwrap_err();
+            assert_eq!(failure.index, 3, "width {width}");
+            assert!(matches!(
+                failure.error,
+                CryptoError::ShareVerificationFailed { .. }
+            ));
+        }
     }
 }

@@ -107,7 +107,7 @@ impl std::fmt::Display for FileFinding {
     }
 }
 
-/// Lints every `.rs` file under `root` (skipping [`SKIP_DIRS`]), sorted
+/// Lints every `.rs` file under `root` (skipping `SKIP_DIRS`), sorted
 /// by path then line.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileFinding>> {
     let mut files = Vec::new();

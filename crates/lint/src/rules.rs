@@ -3,7 +3,7 @@
 //! Each rule is a pure function over the token stream of one file (test
 //! modules already stripped) and reports [`Finding`]s with 1-based lines.
 //! The rules are deliberately lexical: they cannot type-check, so each one
-//! is scoped (by [`crate::rules_for_path`]) to modules where its token
+//! is scoped (by `crate::rules_for_path`) to modules where its token
 //! pattern is unambiguous, and the precise semantics are documented in
 //! `docs/static_analysis.md`. Rules must never read literal contents —
 //! the lexer blanks them — so quoted text cannot trip a rule.

@@ -10,7 +10,7 @@
 //!   first), which is optimal per machine;
 //! * [`optimal_sum_completion_times`] — the *global* optimum. Unlike the
 //!   makespan (NP-hard), `R || ΣC_j` is polynomial (Horn; see the paper's
-//!   scheduling reference [34]): assigning a task to the `r`-th-from-last
+//!   scheduling reference \[34\]): assigning a task to the `r`-th-from-last
 //!   position on machine `i` contributes `r · t_ij`, so the problem is a
 //!   min-cost bipartite matching between tasks and `(machine, position)`
 //!   slots, solved here by the Hungarian algorithm.

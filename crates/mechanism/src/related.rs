@@ -1,7 +1,7 @@
 //! Truthful mechanisms for **related machines** — the paper's stated
 //! future work ("Of particular interest is designing distributed versions
 //! of the centralized mechanism for scheduling on related machines
-//! proposed in [4]", §5, citing Archer & Tardos).
+//! proposed in \[4\]", §5, citing Archer & Tardos).
 //!
 //! Related machines are *one-parameter agents*: machine `i`'s private type
 //! is a single cost-per-unit-work `c_i = 1/s_i`; its cost for receiving

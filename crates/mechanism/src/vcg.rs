@@ -1,8 +1,8 @@
 //! The Vickrey–Clarke–Groves mechanism, generically and for scheduling.
 //!
 //! The paper's lineage starts here: "In their seminal paper, Nisan and
-//! Ronen [30] … used the celebrated Vickrey–Clarke–Groves (VCG) mechanism
-//! [15,21,38] for solving several standard problems in computer science
+//! Ronen \[30\] … used the celebrated Vickrey–Clarke–Groves (VCG) mechanism
+//! \[15,21,38\] for solving several standard problems in computer science
 //! including … scheduling on unrelated machines" (§1.1). MinWork *is* the
 //! VCG mechanism for the total-work social objective, decomposed into
 //! per-task Vickrey auctions; this module implements VCG generically —

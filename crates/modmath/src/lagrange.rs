@@ -20,7 +20,7 @@
 //! * [`interpolate_at_zero`] — the textbook basis-polynomial formula of
 //!   Definition 11 / equation (2);
 //! * [`interpolate_at_zero_steps`] — the paper's three-step `Θ(s²)`
-//!   algorithm (`ψ_k`, `φ(0)`, `Σ ψ_k / α_k`) from [14].
+//!   algorithm (`ψ_k`, `φ(0)`, `Σ ψ_k / α_k`) from \[14\].
 //!
 //! The *distributed* variant used by DMW operates in the exponent: each
 //! agent publishes `Λ_k = z1^{E(α_k)}` and anyone checks
@@ -104,7 +104,7 @@ pub fn interpolate_at_zero(field: &PrimeField, shares: &[(u64, u64)]) -> Result<
 }
 
 /// The paper's three-step `Θ(s²)` algorithm for `f^(s)(0)` (Section 2.4,
-/// citing [14]):
+/// citing \[14\]):
 ///
 /// 1. `ψ_k = f(α_k) / Π_{i≠k}(α_i − α_k)`
 /// 2. `φ(0) = Π_k α_k`

@@ -32,6 +32,47 @@ impl NetworkStats {
     pub fn in_flight(&self) -> u64 {
         self.point_to_point - self.delivered - self.dropped
     }
+
+    /// Accumulates another run's counters into this one — the aggregation
+    /// the batch harness uses to report whole-sweep traffic totals.
+    pub fn absorb(&mut self, other: &NetworkStats) {
+        self.point_to_point += other.point_to_point;
+        self.broadcasts += other.broadcasts;
+        self.bytes += other.bytes;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.rounds += other.rounds;
+    }
+}
+
+impl std::ops::AddAssign for NetworkStats {
+    fn add_assign(&mut self, other: NetworkStats) {
+        self.absorb(&other);
+    }
+}
+
+impl std::ops::Add for NetworkStats {
+    type Output = NetworkStats;
+
+    fn add(mut self, other: NetworkStats) -> NetworkStats {
+        self += other;
+        self
+    }
+}
+
+impl std::iter::Sum for NetworkStats {
+    fn sum<I: Iterator<Item = NetworkStats>>(iter: I) -> NetworkStats {
+        iter.fold(NetworkStats::default(), std::ops::Add::add)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a NetworkStats> for NetworkStats {
+    fn sum<I: Iterator<Item = &'a NetworkStats>>(iter: I) -> NetworkStats {
+        iter.fold(NetworkStats::default(), |mut acc, s| {
+            acc.absorb(s);
+            acc
+        })
+    }
 }
 
 #[cfg(test)]
@@ -54,5 +95,36 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.in_flight(), 1);
+    }
+
+    #[test]
+    fn aggregation_sums_every_counter() {
+        let a = NetworkStats {
+            point_to_point: 10,
+            broadcasts: 2,
+            bytes: 100,
+            delivered: 9,
+            dropped: 1,
+            rounds: 6,
+        };
+        let b = NetworkStats {
+            point_to_point: 5,
+            broadcasts: 1,
+            bytes: 40,
+            delivered: 5,
+            dropped: 0,
+            rounds: 6,
+        };
+        let total: NetworkStats = [a, b].iter().sum();
+        assert_eq!(total.point_to_point, 15);
+        assert_eq!(total.broadcasts, 3);
+        assert_eq!(total.bytes, 140);
+        assert_eq!(total.delivered, 14);
+        assert_eq!(total.dropped, 1);
+        assert_eq!(total.rounds, 12);
+        assert_eq!(a + b, total);
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, total);
     }
 }

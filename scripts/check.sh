@@ -8,9 +8,13 @@
 #      because crates/{modmath,crypto} already escalate them to `#![deny]`
 #      at their crate roots (source attributes outrank these CLI flags)
 #      and the protocol-critical modules of `dmw` are policed by dmw-lint
-#   3. dmw-lint                   -- protocol-invariant rules L1-L5
-#   4. cargo test                 -- full workspace suite (which re-runs
+#   3. cargo doc                  -- rustdoc warnings (broken intra-doc
+#      links, missing docs) are errors
+#   4. dmw-lint                   -- protocol-invariant rules L1-L5
+#   5. cargo test                 -- full workspace suite (which re-runs
 #      dmw-lint as an integration test, so CI cannot skip it)
+#   6. bench_batch --smoke        -- the batch engine end-to-end on a tiny
+#      instance, exiting non-zero if thread counts disagree
 #
 # Exits non-zero at the first failing step.
 set -euo pipefail
@@ -27,10 +31,16 @@ cargo clippy --workspace --quiet -- \
     -A clippy::indexing-slicing \
     -A clippy::cast-possible-truncation
 
+echo "==> cargo doc (no-deps, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --quiet --no-deps
+
 echo "==> dmw-lint"
 cargo run --quiet -p dmw-lint
 
 echo "==> cargo test (workspace)"
 cargo test --quiet --workspace
+
+echo "==> bench_batch --smoke"
+cargo run --quiet -p dmw-bench --bin bench_batch -- --smoke
 
 echo "check.sh: all gates passed"

@@ -160,7 +160,7 @@ pub mod rngs {
 }
 
 pub mod distributions {
-    //! Sampling traits backing [`Rng::gen`] and [`Rng::gen_range`].
+    //! Sampling traits backing [`Rng::gen`](crate::Rng::gen) and [`Rng::gen_range`](crate::Rng::gen_range).
 
     use super::RngCore;
 

@@ -1,0 +1,444 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment for this repository has no network access and no
+//! vendored registry, so the real `rayon` crate cannot be fetched. This
+//! crate implements the small data-parallelism subset the DMW workspace
+//! actually uses:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a *width* handle: a
+//!   pool fixes how many worker threads a parallel operation may fan out
+//!   over, and `install` scopes that width to a closure;
+//! * [`prelude::IntoParallelRefIterator::par_iter`] on slices and `Vec`,
+//!   with [`iter::Iter::map`], [`iter::Iter::enumerate`] and order-stable
+//!   `collect` — the shape `jobs.par_iter().map(f).collect::<Vec<_>>()`
+//!   that [`dmw`'s batch engine] and the share-verification fan-out rely
+//!   on;
+//! * [`join`] for two-way structured parallelism.
+//!
+//! # Fidelity notes
+//!
+//! * Real rayon keeps a lazily-started global pool of work-stealing
+//!   threads; this stand-in spawns scoped OS threads *per parallel call*
+//!   and hands out work items through an atomic cursor. For the
+//!   millisecond-scale protocol trials this workspace parallelizes, the
+//!   per-call spawn cost (tens of microseconds) is noise; for
+//!   microsecond-scale items, batch before fanning out.
+//! * `ThreadPool::install(op)` runs `op` on the *calling* thread (real
+//!   rayon migrates it into the pool) and only scopes the parallelism
+//!   width; this is indistinguishable to deterministic callers.
+//! * Nested parallel calls inside a worker run sequentially (width 1)
+//!   instead of sharing the pool's queues — the same "no thread
+//!   explosion" guarantee with a simpler mechanism.
+//! * `collect` always produces results **in input order** regardless of
+//!   which worker computed which item, exactly like rayon's indexed
+//!   parallel iterators — the property the workspace's determinism tests
+//!   pin down.
+//!
+//! A worker panic is propagated to the caller (first panic wins), matching
+//! real rayon's behavior.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Parallelism width installed on this thread; `None` means "use the
+    /// machine default".
+    static CURRENT_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Restores the previously installed width even if the closure panics.
+struct WidthGuard {
+    prev: Option<usize>,
+}
+
+impl WidthGuard {
+    fn install(width: Option<usize>) -> Self {
+        let prev = CURRENT_WIDTH.with(|w| w.replace(width));
+        WidthGuard { prev }
+    }
+}
+
+impl Drop for WidthGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT_WIDTH.with(|w| w.set(prev));
+    }
+}
+
+fn machine_width() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The number of threads a parallel operation started here would fan out
+/// over: the installed pool's width, or the machine's available
+/// parallelism outside any [`ThreadPool::install`].
+pub fn current_num_threads() -> usize {
+    CURRENT_WIDTH.with(Cell::get).unwrap_or_else(machine_width)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    std::thread::scope(|s| {
+        let handle_b = s.spawn(|| {
+            let _guard = WidthGuard::install(Some(1));
+            oper_b()
+        });
+        let ra = oper_a();
+        let rb = match handle_b.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Error building a [`ThreadPool`]. The stand-in never fails to build; the
+/// type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration (machine width).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads; `0` means "machine width".
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stand-in; the `Result` mirrors the real API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            machine_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A handle fixing the parallelism width for operations run under
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker-thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `op` with this pool's width installed: parallel iterators
+    /// inside `op` fan out over `current_num_threads` workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let _guard = WidthGuard::install(Some(self.width));
+        op()
+    }
+}
+
+/// Fans `len` indexed work items over `width` scoped worker threads and
+/// returns the per-index results in index order. The work distribution is
+/// dynamic (atomic cursor), the output order is not.
+fn run_indexed<R, F>(len: usize, width: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let width = width.clamp(1, len.max(1));
+    if width <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..width)
+            .map(|_| {
+                s.spawn(|| {
+                    // Nested parallel calls inside a worker run
+                    // sequentially; see the crate docs.
+                    let _guard = WidthGuard::install(Some(1));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(bucket) => bucket,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every index was assigned exactly once")))
+        .collect()
+}
+
+pub mod iter {
+    //! The parallel-iterator subset: `par_iter().map(..).collect()` on
+    //! slices, plus `enumerate` for index-aware maps.
+
+    use super::{current_num_threads, run_indexed};
+
+    /// Types that offer a by-reference parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed item type.
+        type Item: 'data;
+        /// The iterator type.
+        type Iter;
+
+        /// Creates the parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Iter<'data, T> {
+            Iter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Iter<'data, T> {
+            Iter { slice: self }
+        }
+    }
+
+    /// Parallel iterator over a slice.
+    #[derive(Debug)]
+    pub struct Iter<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> Iter<'data, T> {
+        /// Maps each item through `f`.
+        pub fn map<R, F>(self, f: F) -> Map<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            Map {
+                slice: self.slice,
+                f,
+            }
+        }
+
+        /// Pairs each item with its index.
+        pub fn enumerate(self) -> Enumerate<'data, T> {
+            Enumerate { slice: self.slice }
+        }
+    }
+
+    /// Index-carrying parallel iterator over a slice.
+    #[derive(Debug)]
+    pub struct Enumerate<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> Enumerate<'data, T> {
+        /// Maps each `(index, item)` pair through `f`.
+        pub fn map<R, F>(self, f: F) -> EnumerateMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn((usize, &'data T)) -> R + Sync,
+        {
+            EnumerateMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// A mapped parallel iterator, ready to collect.
+    #[derive(Debug)]
+    pub struct Map<'data, T, F> {
+        slice: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, R, F> Map<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        /// Computes all items (fanning over the installed width) and
+        /// collects the results **in input order**.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let slice = self.slice;
+            let f = &self.f;
+            run_indexed(slice.len(), current_num_threads(), |i| {
+                f(slice.get(i).unwrap_or_else(|| unreachable!("i < len")))
+            })
+            .into_iter()
+            .collect()
+        }
+    }
+
+    /// A mapped, index-carrying parallel iterator, ready to collect.
+    #[derive(Debug)]
+    pub struct EnumerateMap<'data, T, F> {
+        slice: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, R, F> EnumerateMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn((usize, &'data T)) -> R + Sync,
+    {
+        /// Computes all items (fanning over the installed width) and
+        /// collects the results **in input order**.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let slice = self.slice;
+            let f = &self.f;
+            run_indexed(slice.len(), current_num_threads(), |i| {
+                f((i, slice.get(i).unwrap_or_else(|| unreachable!("i < len"))))
+            })
+            .into_iter()
+            .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Convenience re-exports mirroring `rayon::prelude`.
+    pub use super::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_sees_true_indices() {
+        let input = vec!["a"; 97];
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let idx: Vec<usize> =
+            pool.install(|| input.par_iter().enumerate().map(|(i, _)| i).collect());
+        assert_eq!(idx, (0..97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_the_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 5);
+        pool.install(|| assert_eq!(current_num_threads(), 5));
+        // Nested installs restore the outer width.
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 5);
+        });
+    }
+
+    #[test]
+    fn zero_threads_means_machine_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_parallelism_inside_a_worker_is_sequential() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input = vec![(); 8];
+        let widths: Vec<usize> =
+            pool.install(|| input.par_iter().map(|()| current_num_threads()).collect());
+        // With >1 items and >1 workers the closures run on worker
+        // threads, which pin nested width to 1.
+        assert!(widths.iter().all(|&w| w == 1), "{widths:?}");
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 6 * 7, || "ok"));
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input: Vec<u64> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                input
+                    .par_iter()
+                    .map(|&x| {
+                        assert!(x != 13, "boom");
+                        x
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(result.is_err());
+    }
+}
