@@ -2,15 +2,15 @@
 //!
 //! One [`DmwAgent`] executes the four protocol phases for *all* `m` task
 //! auctions in lockstep (the auctions are "parallel and independent",
-//! Section 2.2). The runner advances agents in synchronous rounds:
-//!
-//! | round | phase | sends |
-//! |-------|-------|-------|
-//! | 0 | II *Bidding* | share bundles (unicast), commitments (broadcast) |
-//! | 1 | III.1–III.2 | verify shares (eqs (7)–(9)); publish `Λ/Ψ` + participation mask |
-//! | 2 | III.2–III.3 | verify `Λ/Ψ` (eq (11)); resolve first price (eq (12)); disclose `f`-shares |
-//! | 3 | III.3–III.4 | verify disclosures (eq (13)); identify winner (eq (14)); publish excluded `Λ'/Ψ'` (eq (15)) |
-//! | 4 | III.4–IV | verify excluded pairs; resolve second price; submit payment claim |
+//! Section 2.2). Protocol progress is a typed state machine — see
+//! [`crate::phases`] for the phase catalogue, transition table and the
+//! per-phase protocol logic. The scheduler [`DmwAgent::poll`]s each agent
+//! once per tick: every poll files the arrived messages through the
+//! shared ingress path, and the current phase *acts* (verifies, resolves,
+//! publishes) as soon as its expected messages are complete — or when the
+//! agent's patience budget expires, whichever comes first. Under the
+//! lockstep transport with the default patience of one tick, acts land on
+//! exactly the classic six-round schedule.
 //!
 //! **Detection semantics** (Theorems 4 and 8):
 //!
@@ -36,15 +36,12 @@
 use crate::config::DmwConfig;
 use crate::error::AbortReason;
 use crate::messages::Body;
+use crate::phases::{self, Phase};
 use crate::strategy::{Behavior, VerificationPolicy};
-use dmw_crypto::commitments::verify_shares_batch;
 use dmw_crypto::polynomials::{BidPolynomials, ShareBundle};
-use dmw_crypto::resolution::{
-    compute_lambda_psi, exclude_winner, identify_winner, resolve_min_bid, verify_claimed_f_point,
-    verify_f_disclosure, verify_lambda_psi, LambdaPsi,
-};
+use dmw_crypto::resolution::LambdaPsi;
 use dmw_crypto::Commitments;
-use dmw_simnet::{Delivered, NodeId, Recipient};
+use dmw_simnet::{Delivered, Recipient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,11 +51,11 @@ use rand::SeedableRng;
 // senders), and all per-agent vectors are allocated with length `n` up
 // front; per-site `.get()` plumbing would bury the protocol equations.
 
-/// The funnel for state-machine invariants: a value the round structure
+/// The funnel for state-machine invariants: a value the phase structure
 /// guarantees to be present (e.g. a bundle from an agent marked alive).
 /// Every call site states which invariant it relies on, and the single
 /// panic below is the module's only deliberate panic path.
-trait Invariant<T> {
+pub(crate) trait Invariant<T> {
     fn invariant(self, what: &'static str) -> T;
 }
 
@@ -91,28 +88,37 @@ pub enum AgentStatus {
 
 /// Everything an agent accumulates about one task auction.
 #[derive(Debug, Clone)]
-struct TaskState {
+pub(crate) struct TaskState {
     /// My polynomial quadruple (None for behaviors that never bid).
-    polys: Option<BidPolynomials>,
+    pub(crate) polys: Option<BidPolynomials>,
     /// Commitments received per sender (self included).
-    commitments: Vec<Option<Commitments>>,
+    pub(crate) commitments: Vec<Option<Commitments>>,
     /// Share bundles received per sender (self included).
-    bundles: Vec<Option<ShareBundle>>,
+    pub(crate) bundles: Vec<Option<ShareBundle>>,
     /// Published `(Λ, Ψ)` pairs per agent.
-    pairs: Vec<Option<LambdaPsi>>,
+    pub(crate) pairs: Vec<Option<LambdaPsi>>,
+    /// Participation masks published alongside `Λ/Ψ`, per publisher —
+    /// compared against my own `alive` when the resolution phase acts.
+    pub(crate) masks: Vec<Option<Vec<bool>>>,
     /// Resolved first price.
-    first_price: Option<u64>,
+    pub(crate) first_price: Option<u64>,
+    /// The designated discloser set, fixed when resolution acts (the
+    /// first `winner_points + c` responsive agents).
+    pub(crate) disclosers: Vec<usize>,
+    /// `true` when live share points alone cannot reach the `y* + c + 1`
+    /// equation (14) needs and identification must consult winner claims.
+    pub(crate) needs_fallback: bool,
     /// Disclosed `f`-columns per discloser.
-    disclosures: Vec<Option<Vec<u64>>>,
+    pub(crate) disclosures: Vec<Option<Vec<u64>>>,
     /// Winner-claim supplements per claimant: `(agent, f, h)` evaluations
     /// at non-live pseudonyms (the pre-bidding-crash fallback).
-    claims: Vec<Option<Vec<(usize, u64, u64)>>>,
+    pub(crate) claims: Vec<Option<Vec<(usize, u64, u64)>>>,
     /// Identified winner.
-    winner: Option<usize>,
+    pub(crate) winner: Option<usize>,
     /// Published excluded pairs per agent.
-    excluded: Vec<Option<LambdaPsi>>,
+    pub(crate) excluded: Vec<Option<LambdaPsi>>,
     /// Resolved second price.
-    second_price: Option<u64>,
+    pub(crate) second_price: Option<u64>,
 }
 
 impl TaskState {
@@ -122,7 +128,10 @@ impl TaskState {
             commitments: vec![None; n],
             bundles: vec![None; n],
             pairs: vec![None; n],
+            masks: vec![None; n],
             first_price: None,
+            disclosers: Vec::new(),
+            needs_fallback: false,
             disclosures: vec![None; n],
             claims: vec![None; n],
             winner: None,
@@ -135,23 +144,33 @@ impl TaskState {
 /// One protocol participant.
 #[derive(Debug)]
 pub struct DmwAgent {
-    config: DmwConfig,
-    me: usize,
-    behavior: Behavior,
-    policy: VerificationPolicy,
-    bids: Vec<u64>,
-    rng: StdRng,
-    status: AgentStatus,
-    tasks: Vec<TaskState>,
+    pub(crate) config: DmwConfig,
+    pub(crate) me: usize,
+    pub(crate) behavior: Behavior,
+    pub(crate) policy: VerificationPolicy,
+    pub(crate) bids: Vec<u64>,
+    pub(crate) rng: StdRng,
+    pub(crate) status: AgentStatus,
+    pub(crate) tasks: Vec<TaskState>,
     /// `alive[ℓ]`: agent `ℓ` completed the bidding phase toward me.
-    alive: Vec<bool>,
+    pub(crate) alive: Vec<bool>,
     /// `faulty[ℓ]`: fell silent at a later stage. `faulty ⊆ alive`.
-    faulty: Vec<bool>,
+    pub(crate) faulty: Vec<bool>,
     /// My computed payment claim (bid units), present once Done.
-    claim: Option<Vec<u64>>,
+    pub(crate) claim: Option<Vec<u64>>,
     /// Threads the Phase III.1 share-verification batch fans over
     /// (`1` = sequential, the default).
-    verify_width: usize,
+    pub(crate) verify_width: usize,
+    /// Current phase of the typed state machine.
+    pub(crate) phase: Phase,
+    /// Polls spent waiting in the current phase.
+    pub(crate) ticks_in_phase: u64,
+    /// Ticks a phase may wait for message completeness before acting on
+    /// whatever arrived. `1` (the default) acts at the first poll after
+    /// entering a phase — the classic lockstep schedule.
+    pub(crate) patience: u64,
+    /// Label of the phase that most recently acted (trace annotation).
+    pub(crate) acted_phase: &'static str,
 }
 
 impl DmwAgent {
@@ -211,6 +230,10 @@ impl DmwAgent {
             faulty: vec![false; n],
             claim: None,
             verify_width: 1,
+            phase: Phase::Bidding,
+            ticks_in_phase: 0,
+            patience: 1,
+            acted_phase: Phase::Bidding.label(),
         }
     }
 
@@ -224,9 +247,36 @@ impl DmwAgent {
         self
     }
 
+    /// Sets how many polls a phase may wait for message completeness
+    /// before acting on whatever has arrived (clamped to at least `1`).
+    /// The default of `1` acts at the first poll after entering a phase —
+    /// the classic lockstep schedule; delayed transports need enough
+    /// patience to cover their worst-case latency.
+    #[must_use]
+    pub fn with_patience(mut self, patience: u64) -> Self {
+        self.patience = patience.max(1);
+        self
+    }
+
     /// Current lifecycle status.
     pub fn status(&self) -> &AgentStatus {
         &self.status
+    }
+
+    /// Current phase of the typed state machine.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Label of the phase that most recently acted — the trace annotation
+    /// for the messages the last [`DmwAgent::poll`] emitted.
+    pub fn acted_phase(&self) -> &'static str {
+        self.acted_phase
+    }
+
+    /// `true` once the agent can make no further protocol progress.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self.status, AgentStatus::Running)
     }
 
     /// The abort reason, if aborted.
@@ -262,22 +312,22 @@ impl DmwAgent {
         self.behavior
     }
 
-    fn n(&self) -> usize {
+    pub(crate) fn n(&self) -> usize {
         self.config.agents()
     }
 
-    fn m(&self) -> usize {
+    pub(crate) fn m(&self) -> usize {
         self.tasks.len()
     }
 
-    fn abort(&mut self, reason: AbortReason, out: &mut Vec<(Recipient, Body)>) {
+    pub(crate) fn abort(&mut self, reason: AbortReason, out: &mut Vec<(Recipient, Body)>) {
         self.status = AgentStatus::Aborted(reason);
         out.push((Recipient::Broadcast, Body::Abort { reason }));
     }
 
     /// Total faulty participants observed so far (silent in bidding or
     /// marked later).
-    fn fault_count(&self) -> usize {
+    pub(crate) fn fault_count(&self) -> usize {
         (0..self.n())
             .filter(|&l| !self.alive[l] || self.faulty[l])
             .count()
@@ -285,7 +335,7 @@ impl DmwAgent {
 
     /// Indices of agents alive and not marked faulty, ascending — the
     /// "responsive" set whose points drive resolution.
-    fn live_indices(&self) -> Vec<usize> {
+    pub(crate) fn live_indices(&self) -> Vec<usize> {
         (0..self.n())
             .filter(|&l| self.alive[l] && !self.faulty[l])
             .collect()
@@ -293,14 +343,14 @@ impl DmwAgent {
 
     /// Indices of agents that completed bidding (the polynomials summed in
     /// `E` and `H`), ascending.
-    fn alive_indices(&self) -> Vec<usize> {
+    pub(crate) fn alive_indices(&self) -> Vec<usize> {
         (0..self.n()).filter(|&l| self.alive[l]).collect()
     }
 
     /// Am I one of `publisher`'s `c + 1` designated rotation verifiers?
     /// Designated verifiers are the cyclically-next live agents after the
     /// publisher, so at most `c` faults leave at least one honest verifier.
-    fn is_designated_verifier(&self, publisher: usize) -> bool {
+    pub(crate) fn is_designated_verifier(&self, publisher: usize) -> bool {
         if self.policy == VerificationPolicy::Full {
             return true;
         }
@@ -316,12 +366,11 @@ impl DmwAgent {
             .any(|&l| l == self.me)
     }
 
-    /// Advances one synchronous round. Consumes the round's inbox and
-    /// returns the messages to transmit. A non-`Running` agent emits
-    /// nothing.
-    pub fn on_round(&mut self, round: u64, inbox: Vec<Delivered<Body>>) -> Vec<(Recipient, Body)> {
-        // Unpack coalesced containers (produced by a batching runner)
-        // into the individual protocol messages.
+    /// Shared ingress: unpacks coalesced `Body::Batch` containers, honours
+    /// peer aborts (at any phase), and files every protocol message into
+    /// per-task state. Returns `false` when the agent is — or just became
+    /// — non-`Running` and therefore must not act.
+    fn ingest(&mut self, inbox: Vec<Delivered<Body>>) -> bool {
         let inbox: Vec<Delivered<Body>> = inbox
             .into_iter()
             .flat_map(|d| match d.payload {
@@ -336,643 +385,93 @@ impl DmwAgent {
                 _ => vec![d],
             })
             .collect();
-        let mut out = Vec::new();
-        // Honour peer aborts first, at any stage.
         if self.status == AgentStatus::Running {
             for msg in &inbox {
                 if let Body::Abort { .. } = msg.payload {
                     self.status =
                         AgentStatus::Aborted(AbortReason::PeerAborted { peer: msg.from.0 });
-                    return out;
+                    return false;
                 }
             }
         }
         if self.status != AgentStatus::Running {
-            return out;
-        }
-        match round {
-            0 => self.round_bidding(&mut out),
-            1 => self.round_verify_and_publish(inbox, &mut out),
-            2 => self.round_resolve_first(inbox, &mut out),
-            3 => self.round_identify_winner(inbox, &mut out),
-            4 => self.round_second_price_and_claim(inbox, &mut out),
-            _ => {}
-        }
-        out
-    }
-
-    /// Round 0 — Phase II *Bidding*: sample polynomials, distribute shares,
-    /// publish commitments.
-    fn round_bidding(&mut self, out: &mut Vec<(Recipient, Body)>) {
-        if matches!(self.behavior, Behavior::Silent) {
-            return;
-        }
-        let group = *self.config.group();
-        let encoding = *self.config.encoding();
-        let zq = group.zq();
-        for task in 0..self.m() {
-            let polys = BidPolynomials::generate(&group, &encoding, self.bids[task], &mut self.rng)
-                .invariant("bids validated at construction");
-            // Publish commitments (II.3); a tamperer keeps the honest copy
-            // in its own state.
-            let honest = Commitments::commit(&group, &encoding, &polys);
-            let published = match self.behavior {
-                Behavior::TamperedCommitments => honest.clone().with_tampered_q(&group, 0),
-                _ => honest.clone(),
-            };
-            let my_bundle = polys.share_for(&zq, self.config.pseudonym(self.me));
-            self.tasks[task].bundles[self.me] = Some(my_bundle);
-            self.tasks[task].commitments[self.me] = Some(honest);
-            out.push((
-                Recipient::Broadcast,
-                Body::Commit {
-                    task,
-                    commitments: published,
-                },
-            ));
-            // Distribute shares (II.2).
-            for peer in 0..self.n() {
-                if peer == self.me {
-                    continue;
-                }
-                match self.behavior {
-                    Behavior::WithholdShares => continue,
-                    Behavior::SelectiveShares { threshold } if peer >= threshold => continue,
-                    _ => {}
-                }
-                let mut bundle = polys.share_for(&zq, self.config.pseudonym(peer));
-                if matches!(self.behavior, Behavior::CorruptShareTo { victim } if victim == peer) {
-                    bundle.e = zq.add(bundle.e, 1);
-                }
-                out.push((
-                    Recipient::Unicast(NodeId(peer)),
-                    Body::Shares { task, bundle },
-                ));
-            }
-            self.tasks[task].polys = Some(polys);
-        }
-    }
-
-    /// Round 1 — Phase III.1 + III.2 publication: verify received bundles
-    /// against commitments, fix the participation mask, publish `Λ/Ψ`.
-    fn round_verify_and_publish(
-        &mut self,
-        inbox: Vec<Delivered<Body>>,
-        out: &mut Vec<(Recipient, Body)>,
-    ) {
-        if matches!(self.behavior, Behavior::Silent) {
-            return;
-        }
-        // File the bidding-phase traffic.
-        for msg in inbox {
-            match msg.payload {
-                Body::Shares { task, bundle } => {
-                    self.tasks[task].bundles[msg.from.0] = Some(bundle);
-                }
-                Body::Commit { task, commitments } => {
-                    self.tasks[task].commitments[msg.from.0] = Some(commitments);
-                }
-                _ => {}
-            }
-        }
-        // An agent is alive iff its shares AND commitments arrived for
-        // every task.
-        for l in 0..self.n() {
-            self.alive[l] = (0..self.m()).all(|t| {
-                self.tasks[t].bundles[l].is_some() && self.tasks[t].commitments[l].is_some()
-            });
-        }
-        let faults = self.fault_count();
-        if faults > self.config.encoding().faults() {
-            self.abort(
-                AbortReason::TooManyFaults {
-                    observed: faults,
-                    tolerated: self.config.encoding().faults(),
-                },
-                out,
-            );
-            return;
-        }
-        // Verify every live sender's bundle (III.1, eqs (7)–(9)). The
-        // (task, sender) checks are independent, so they are submitted as
-        // one batch and fanned over `verify_width` threads; the batch
-        // reports the first failure in the same row-major (task, sender)
-        // order the sequential loop scanned, so detection is
-        // width-invariant.
-        let group = *self.config.group();
-        let my_alpha = self.config.pseudonym(self.me);
-        let bad_sender = {
-            let mut items = Vec::new();
-            let mut senders = Vec::new();
-            for task in 0..self.m() {
-                for l in 0..self.n() {
-                    if !self.alive[l] || l == self.me {
-                        continue;
-                    }
-                    let bundle = self.tasks[task].bundles[l].invariant("alive implies present");
-                    let commitments = self.tasks[task].commitments[l]
-                        .as_ref()
-                        .invariant("alive implies present");
-                    items.push((commitments, bundle));
-                    senders.push(l);
-                }
-            }
-            verify_shares_batch(&group, my_alpha, &items, self.verify_width)
-                .err()
-                .map(|failure| {
-                    *senders
-                        .get(failure.index)
-                        .invariant("batch failure indexes a submitted item")
-                })
-        };
-        if let Some(sender) = bad_sender {
-            self.abort(AbortReason::InvalidShares { sender }, out);
-            return;
-        }
-        if matches!(self.behavior, Behavior::SilentAfterBidding) {
-            return;
-        }
-        // Publish lambda/psi over the live set (III.2, eq (10)).
-        let included = self.alive.clone();
-        let alive = self.alive_indices();
-        for task in 0..self.m() {
-            let e_shares: Vec<u64> = alive
-                .iter()
-                .map(|&l| self.tasks[task].bundles[l].invariant("alive").e)
-                .collect();
-            let h_shares: Vec<u64> = alive
-                .iter()
-                .map(|&l| self.tasks[task].bundles[l].invariant("alive").h)
-                .collect();
-            let honest = compute_lambda_psi(&group, &e_shares, &h_shares);
-            self.tasks[task].pairs[self.me] = Some(honest);
-            let mut pair = honest;
-            if matches!(self.behavior, Behavior::WrongLambda) {
-                pair.lambda = group.zp().mul(pair.lambda, group.z1());
-            }
-            out.push((
-                Recipient::Broadcast,
-                Body::Lambda {
-                    task,
-                    pair,
-                    included: included.clone(),
-                },
-            ));
-        }
-    }
-
-    /// Round 2 — Phase III.2 verification + first-price resolution +
-    /// disclosure kick-off.
-    fn round_resolve_first(
-        &mut self,
-        inbox: Vec<Delivered<Body>>,
-        out: &mut Vec<(Recipient, Body)>,
-    ) {
-        if matches!(
-            self.behavior,
-            Behavior::Silent | Behavior::SilentAfterBidding
-        ) {
-            return;
+            return false;
         }
         for msg in inbox {
-            if let Body::Lambda {
+            self.file(msg);
+        }
+        true
+    }
+
+    /// Files one protocol message into per-task state, whatever the
+    /// current phase — completeness predicates, not arrival timing,
+    /// decide when state is consumed. Admissibility is enforced at *read*
+    /// time (resolution reads only responsive publishers, identification
+    /// only live disclosers), which is equivalent to the old
+    /// arrival-time filter because the responsive set is fixed before
+    /// the reads happen.
+    fn file(&mut self, msg: Delivered<Body>) {
+        let from = msg.from.0;
+        match msg.payload {
+            Body::Shares { task, bundle } => {
+                self.tasks[task].bundles[from] = Some(bundle);
+            }
+            Body::Commit { task, commitments } => {
+                self.tasks[task].commitments[from] = Some(commitments);
+            }
+            Body::Lambda {
                 task,
                 pair,
                 included,
-            } = msg.payload
-            {
-                // A publisher whose participation mask disagrees with mine
-                // is evidence of selective share delivery: hard abort.
-                if included != self.alive {
-                    self.abort(
-                        AbortReason::InconsistentMask {
-                            publisher: msg.from.0,
-                        },
-                        out,
-                    );
-                    return;
-                }
-                if msg.from.0 != self.me {
-                    self.tasks[task].pairs[msg.from.0] = Some(pair);
+            } => {
+                self.tasks[task].masks[from] = Some(included);
+                if from != self.me {
+                    self.tasks[task].pairs[from] = Some(pair);
                 }
             }
-        }
-        let group = *self.config.group();
-        let encoding = *self.config.encoding();
-        // Silent publishers become faulty (tolerated up to c in total).
-        for l in self.alive_indices() {
-            if (0..self.m()).any(|t| self.tasks[t].pairs[l].is_none()) {
-                self.faulty[l] = true;
+            Body::Disclose { task, f_values } => {
+                self.tasks[task].disclosures[from] = Some(f_values);
             }
-        }
-        if self.fault_count() > encoding.faults() {
-            self.abort(
-                AbortReason::TooManyFaults {
-                    observed: self.fault_count(),
-                    tolerated: encoding.faults(),
-                },
-                out,
-            );
-            return;
-        }
-        // Rotation verification of eq (11): I check my designated
-        // publishers; any honest verifier detecting tampering aborts the
-        // whole run.
-        let alive = self.alive_indices();
-        for task in 0..self.m() {
-            let commitments: Vec<Commitments> = alive
-                .iter()
-                .map(|&l| self.tasks[task].commitments[l].clone().invariant("alive"))
-                .collect();
-            for &l in &self.live_indices() {
-                if l == self.me || !self.is_designated_verifier(l) {
-                    continue;
-                }
-                let pair = self.tasks[task].pairs[l].invariant("live implies published");
-                if verify_lambda_psi(
-                    &group,
-                    &commitments,
-                    l,
-                    self.config.pseudonym(l),
-                    &pair,
-                    None,
-                )
-                .is_err()
-                {
-                    self.abort(AbortReason::InvalidLambdaPsi { publisher: l }, out);
-                    return;
+            Body::WinnerClaim { task, points } => {
+                self.tasks[task].claims[from] = Some(points);
+            }
+            Body::Excluded { task, pair } => {
+                if from != self.me {
+                    self.tasks[task].excluded[from] = Some(pair);
                 }
             }
-        }
-        // Resolve the first price per task from the responsive points
-        // (eq (12)).
-        let responsive = self.live_indices();
-        let alphas: Vec<u64> = responsive
-            .iter()
-            .map(|&l| self.config.pseudonym(l))
-            .collect();
-        for task in 0..self.m() {
-            let lambdas: Vec<u64> = responsive
-                .iter()
-                .map(|&l| self.tasks[task].pairs[l].invariant("responsive").lambda)
-                .collect();
-            match resolve_min_bid(&group, &encoding, &alphas, &lambdas) {
-                Ok(price) => self.tasks[task].first_price = Some(price.bid),
-                Err(_) => {
-                    self.abort(AbortReason::Unresolvable, out);
-                    return;
-                }
-            }
-        }
-        // Disclose my f-column if I am among the designated disclosers:
-        // the first `winner_points + c` responsive agents (the `+ c`
-        // spares keep identification alive when disclosers fall silent).
-        for task in 0..self.m() {
-            let first_price = self.tasks[task].first_price.invariant("resolved above");
-            let needed = encoding.winner_points(first_price) + encoding.faults();
-            let disclosers: Vec<usize> = responsive.iter().copied().take(needed).collect();
-            if disclosers.contains(&self.me) {
-                let mut f_values: Vec<u64> = (0..self.n())
-                    .map(|l| self.tasks[task].bundles[l].map(|b| b.f).unwrap_or(0))
-                    .collect();
-                if matches!(self.behavior, Behavior::WrongDisclosure) {
-                    f_values[self.me] = group.zq().add(f_values[self.me], 1);
-                }
-                self.tasks[task].disclosures[self.me] = Some(f_values.clone());
-                out.push((Recipient::Broadcast, Body::Disclose { task, f_values }));
-            }
-        }
-        // Identification fallback: crashes before bidding can leave fewer
-        // live share points than eq (14) needs (`y* + c + 1`). An agent
-        // whose own bid equals the first price supplements the missing
-        // evaluations from its own polynomials; every verifier binds them
-        // to its Phase II.3 commitments via eq (9) before use.
-        for task in 0..self.m() {
-            let first_price = self.tasks[task].first_price.invariant("resolved above");
-            let live = self.live_indices();
-            if live.len() >= encoding.winner_points(first_price) || self.bids[task] != first_price {
-                continue;
-            }
-            let Some(polys) = &self.tasks[task].polys else {
-                continue;
-            };
-            let zq = group.zq();
-            let points: Vec<(usize, u64, u64)> = (0..self.n())
-                .filter(|l| !live.contains(l))
-                .map(|l| {
-                    let alpha = self.config.pseudonym(l);
-                    (l, polys.f().eval(&zq, alpha), polys.h().eval(&zq, alpha))
-                })
-                .collect();
-            self.tasks[task].claims[self.me] = Some(points.clone());
-            out.push((Recipient::Broadcast, Body::WinnerClaim { task, points }));
+            Body::PaymentClaim { .. } | Body::Abort { .. } | Body::Batch(_) => {}
         }
     }
 
-    /// Round 3 — Phase III.3: verify disclosures, identify the winner,
-    /// publish the winner-excluded pair.
-    fn round_identify_winner(
-        &mut self,
-        inbox: Vec<Delivered<Body>>,
-        out: &mut Vec<(Recipient, Body)>,
-    ) {
-        if matches!(
-            self.behavior,
-            Behavior::Silent | Behavior::SilentAfterBidding
-        ) {
-            return;
+    /// Advances one scheduler tick. Consumes the tick's inbox through the
+    /// shared ingress path; the current phase acts when its expected
+    /// messages are complete (`phases::ready`) or the patience budget
+    /// expires. Returns the messages to transmit; a non-`Running` agent
+    /// emits nothing.
+    pub fn poll(&mut self, inbox: Vec<Delivered<Body>>) -> Vec<(Recipient, Body)> {
+        let mut out = Vec::new();
+        if !self.ingest(inbox) {
+            return out;
         }
-        for msg in inbox {
-            match msg.payload {
-                // Only responsive agents' disclosures and claims are
-                // admissible.
-                Body::Disclose { task, f_values }
-                    if self.alive[msg.from.0] && !self.faulty[msg.from.0] =>
-                {
-                    self.tasks[task].disclosures[msg.from.0] = Some(f_values);
-                }
-                Body::WinnerClaim { task, points }
-                    if self.alive[msg.from.0] && !self.faulty[msg.from.0] =>
-                {
-                    self.tasks[task].claims[msg.from.0] = Some(points);
-                }
-                _ => {}
-            }
+        if self.phase == Phase::Claimed {
+            return out;
         }
-        let group = *self.config.group();
-        let encoding = *self.config.encoding();
-        let alive = self.alive_indices();
-        for task in 0..self.m() {
-            let commitments: Vec<Commitments> = alive
-                .iter()
-                .map(|&l| self.tasks[task].commitments[l].clone().invariant("alive"))
-                .collect();
-            // Rotation verification of eq (13).
-            for k in self.live_indices() {
-                if k == self.me || !self.is_designated_verifier(k) {
-                    continue;
-                }
-                let Some(f_values) = self.tasks[task].disclosures[k].clone() else {
-                    continue;
-                };
-                let live_values: Vec<u64> = alive.iter().map(|&l| f_values[l]).collect();
-                let psi_k = self.tasks[task].pairs[k].invariant("responsive").psi;
-                if verify_f_disclosure(
-                    &group,
-                    &commitments,
-                    k,
-                    self.config.pseudonym(k),
-                    &live_values,
-                    psi_k,
-                )
-                .is_err()
-                {
-                    self.abort(AbortReason::InvalidDisclosure { discloser: k }, out);
-                    return;
-                }
-            }
-            // Identify the winner from the first `winner_points` available
-            // disclosures (eq (14)).
-            let first_price = self.tasks[task]
-                .first_price
-                .invariant("resolved in round 2");
-            let needed = encoding.winner_points(first_price);
-            let valid_disclosers: Vec<usize> = self
-                .live_indices()
-                .into_iter()
-                .filter(|&k| self.tasks[task].disclosures[k].is_some())
-                .take(needed)
-                .collect();
-            let winner = if valid_disclosers.len() >= needed {
-                let points: Vec<u64> = valid_disclosers
-                    .iter()
-                    .map(|&k| self.config.pseudonym(k))
-                    .collect();
-                let f_columns: Vec<Vec<u64>> = alive
-                    .iter()
-                    .map(|&l| {
-                        valid_disclosers
-                            .iter()
-                            .map(|&k| {
-                                self.tasks[task].disclosures[k]
-                                    .as_ref()
-                                    .invariant("present")[l]
-                            })
-                            .collect()
-                    })
-                    .collect();
-                match identify_winner(&group, &encoding, first_price, &points, &f_columns) {
-                    Ok(pos) => alive[pos],
-                    Err(_) => {
-                        self.abort(AbortReason::NoWinner, out);
-                        return;
-                    }
-                }
-            } else {
-                // Not enough live share points for eq (14): fall back to
-                // the winner claims broadcast in round 2.
-                match self.identify_from_claims(task, first_price, &valid_disclosers) {
-                    Ok(w) => w,
-                    Err(reason) => {
-                        self.abort(reason, out);
-                        return;
-                    }
-                }
-            };
-            self.tasks[task].winner = Some(winner);
-            // Publish the winner-excluded pair (eq (15)).
-            let my_pair = self.tasks[task].pairs[self.me].invariant("I published in round 1");
-            let winner_bundle = self.tasks[task].bundles[winner].invariant("winner is alive");
-            let honest = exclude_winner(&group, &my_pair, winner_bundle.e, winner_bundle.h)
-                .invariant("honest pairs divide cleanly");
-            self.tasks[task].excluded[self.me] = Some(honest);
-            let mut pair = honest;
-            if matches!(self.behavior, Behavior::WrongExcluded) {
-                pair.lambda = group.zp().mul(pair.lambda, group.z1());
-            }
-            out.push((Recipient::Broadcast, Body::Excluded { task, pair }));
+        self.ticks_in_phase += 1;
+        if phases::ready(self) || self.ticks_in_phase >= self.patience {
+            self.acted_phase = self.phase.label();
+            phases::act(self, &mut out);
+            self.phase = self.phase.next();
+            self.ticks_in_phase = 0;
         }
-    }
-
-    /// Winner identification when live disclosures alone cannot reach the
-    /// `y* + c + 1` points equation (14) needs. Agents whose bid equals
-    /// the first price claimed their own `(f, h)` evaluations at the
-    /// missing pseudonyms in round 2; each claimed point is bound to the
-    /// claimant's Phase II.3 commitments via equation (9), the claimant's
-    /// f-column is interpolated over the combined point set, and the
-    /// lowest-indexed claimant whose column vanishes at zero wins.
-    ///
-    /// A false claim cannot pass: fabricated values fail the commitment
-    /// binding (hard abort), and truthful values of a higher-degree
-    /// polynomial fail the interpolation test except with probability
-    /// `≈ 1/q`.
-    fn identify_from_claims(
-        &self,
-        task: usize,
-        first_price: u64,
-        disclosers: &[usize],
-    ) -> Result<usize, AbortReason> {
-        let group = *self.config.group();
-        let encoding = *self.config.encoding();
-        let mut any_claim = false;
-        for k in self.live_indices() {
-            let Some(claim) = self.tasks[task].claims[k].as_ref() else {
-                continue;
-            };
-            any_claim = true;
-            let commitments = self.tasks[task].commitments[k]
-                .as_ref()
-                .invariant("live implies committed");
-            let mut alphas: Vec<u64> = disclosers
-                .iter()
-                .map(|&j| self.config.pseudonym(j))
-                .collect();
-            let mut column: Vec<u64> = disclosers
-                .iter()
-                .map(|&j| {
-                    self.tasks[task].disclosures[j]
-                        .as_ref()
-                        .invariant("present")[k]
-                })
-                .collect();
-            let mut seen = vec![false; self.n()];
-            for &(l, f, h) in claim {
-                // A claimed point may only fill a genuinely missing
-                // pseudonym, once.
-                if l >= self.n() || seen[l] || disclosers.contains(&l) {
-                    return Err(AbortReason::InvalidDisclosure { discloser: k });
-                }
-                seen[l] = true;
-                let alpha = self.config.pseudonym(l);
-                if verify_claimed_f_point(&group, commitments, l, alpha, f, h).is_err() {
-                    return Err(AbortReason::InvalidDisclosure { discloser: k });
-                }
-                alphas.push(alpha);
-                column.push(f);
-            }
-            if identify_winner(&group, &encoding, first_price, &alphas, &[column]).is_ok() {
-                return Ok(k);
-            }
-        }
-        // No claim at all is indistinguishable from a crashed winner:
-        // unresolvable, as before the fallback existed.
-        if any_claim {
-            Err(AbortReason::NoWinner)
-        } else {
-            Err(AbortReason::Unresolvable)
-        }
-    }
-
-    /// Round 4 — Phase III.4 + IV: verify excluded pairs, resolve the
-    /// second price, submit the payment claim.
-    fn round_second_price_and_claim(
-        &mut self,
-        inbox: Vec<Delivered<Body>>,
-        out: &mut Vec<(Recipient, Body)>,
-    ) {
-        if matches!(
-            self.behavior,
-            Behavior::Silent | Behavior::SilentAfterBidding
-        ) {
-            return;
-        }
-        for msg in inbox {
-            if let Body::Excluded { task, pair } = msg.payload {
-                if msg.from.0 != self.me {
-                    self.tasks[task].excluded[msg.from.0] = Some(pair);
-                }
-            }
-        }
-        let group = *self.config.group();
-        let encoding = *self.config.encoding();
-        // Silent publishers become faulty.
-        for l in self.live_indices() {
-            if (0..self.m()).any(|t| self.tasks[t].excluded[l].is_none()) {
-                self.faulty[l] = true;
-            }
-        }
-        if self.fault_count() > encoding.faults() {
-            self.abort(
-                AbortReason::TooManyFaults {
-                    observed: self.fault_count(),
-                    tolerated: encoding.faults(),
-                },
-                out,
-            );
-            return;
-        }
-        let alive = self.alive_indices();
-        for task in 0..self.m() {
-            let winner = self.tasks[task].winner.invariant("identified in round 3");
-            let winner_pos_in_alive = alive
-                .iter()
-                .position(|&l| l == winner)
-                .invariant("winner is alive");
-            let commitments: Vec<Commitments> = alive
-                .iter()
-                .map(|&l| self.tasks[task].commitments[l].clone().invariant("alive"))
-                .collect();
-            // Rotation verification of the post-exclusion eq (11).
-            for &l in &self.live_indices() {
-                if l == self.me || !self.is_designated_verifier(l) {
-                    continue;
-                }
-                let pair = self.tasks[task].excluded[l].invariant("live implies published");
-                if verify_lambda_psi(
-                    &group,
-                    &commitments,
-                    l,
-                    self.config.pseudonym(l),
-                    &pair,
-                    Some(winner_pos_in_alive),
-                )
-                .is_err()
-                {
-                    self.abort(AbortReason::InvalidExcluded { publisher: l }, out);
-                    return;
-                }
-            }
-            // Resolve the second price from the responsive excluded points.
-            let responsive = self.live_indices();
-            let alphas: Vec<u64> = responsive
-                .iter()
-                .map(|&l| self.config.pseudonym(l))
-                .collect();
-            let lambdas: Vec<u64> = responsive
-                .iter()
-                .map(|&l| self.tasks[task].excluded[l].invariant("responsive").lambda)
-                .collect();
-            match resolve_min_bid(&group, &encoding, &alphas, &lambdas) {
-                Ok(price) => self.tasks[task].second_price = Some(price.bid),
-                Err(_) => {
-                    self.abort(AbortReason::Unresolvable, out);
-                    return;
-                }
-            }
-        }
-        // Phase IV: compute the payment vector and submit it.
-        let mut payments = vec![0u64; self.n()];
-        for task in 0..self.m() {
-            let winner = self.tasks[task].winner.invariant("identified");
-            payments[winner] += self.tasks[task].second_price.invariant("resolved");
-        }
-        self.claim = Some(payments.clone());
-        let mut claimed = payments;
-        if let Behavior::InflatedPaymentClaim { delta } = self.behavior {
-            claimed[self.me] += delta;
-            self.claim = Some(claimed.clone());
-        }
-        out.push((
-            Recipient::Broadcast,
-            Body::PaymentClaim { payments: claimed },
-        ));
-        self.status = AgentStatus::Done;
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmw_simnet::NodeId;
     use rand::SeedableRng;
 
     fn config(n: usize, c: usize, seed: u64) -> DmwConfig {
@@ -985,6 +484,7 @@ mod tests {
         let cfg = config(5, 1, 1);
         let agent = DmwAgent::new(cfg, 0, vec![1, 2], Behavior::Suggested, 42);
         assert_eq!(*agent.status(), AgentStatus::Running);
+        assert_eq!(agent.phase(), Phase::Bidding);
         assert!(agent.claim().is_none());
         assert!(agent.abort_reason().is_none());
     }
@@ -1005,19 +505,27 @@ mod tests {
     }
 
     #[test]
-    fn silent_agent_emits_nothing() {
+    fn silent_agent_emits_nothing_but_walks_the_phases() {
         let cfg = config(5, 1, 4);
         let mut agent = DmwAgent::new(cfg, 2, vec![1], Behavior::Silent, 42);
-        for round in 0..5 {
-            assert!(agent.on_round(round, vec![]).is_empty());
+        for _ in 0..6 {
+            assert!(agent.poll(vec![]).is_empty());
         }
+        assert_eq!(agent.phase(), Phase::Claimed);
+        assert_eq!(
+            *agent.status(),
+            AgentStatus::Running,
+            "silence is not termination"
+        );
     }
 
     #[test]
-    fn bidding_round_emits_shares_and_commitments() {
+    fn bidding_phase_emits_shares_and_commitments() {
         let cfg = config(5, 1, 5);
         let mut agent = DmwAgent::new(cfg, 0, vec![1, 3], Behavior::Suggested, 42);
-        let out = agent.on_round(0, vec![]);
+        let out = agent.poll(vec![]);
+        assert_eq!(agent.acted_phase(), "bidding");
+        assert_eq!(agent.phase(), Phase::Commitments);
         let shares = out
             .iter()
             .filter(|(_, b)| matches!(b, Body::Shares { .. }))
@@ -1033,10 +541,10 @@ mod tests {
     }
 
     #[test]
-    fn peer_abort_is_honoured_at_any_round() {
+    fn peer_abort_is_honoured_at_any_phase() {
         let cfg = config(5, 1, 6);
         let mut agent = DmwAgent::new(cfg, 0, vec![1], Behavior::Suggested, 42);
-        let _ = agent.on_round(0, vec![]);
+        let _ = agent.poll(vec![]);
         let abort = Delivered {
             from: NodeId(3),
             broadcast: true,
@@ -1044,8 +552,9 @@ mod tests {
                 reason: AbortReason::Unresolvable,
             },
         };
-        let out = agent.on_round(1, vec![abort]);
+        let out = agent.poll(vec![abort]);
         assert!(out.is_empty());
+        assert!(agent.is_terminal());
         assert_eq!(
             agent.abort_reason(),
             Some(AbortReason::PeerAborted { peer: 3 })
@@ -1054,12 +563,12 @@ mod tests {
 
     #[test]
     fn missing_everyone_aborts_with_too_many_faults() {
-        // An agent that hears from nobody in the bidding round sees n - 1
+        // An agent that hears from nobody while bidding closes sees n - 1
         // faults, far beyond any tolerated c.
         let cfg = config(5, 1, 7);
         let mut agent = DmwAgent::new(cfg, 0, vec![1], Behavior::Suggested, 42);
-        let _ = agent.on_round(0, vec![]);
-        let out = agent.on_round(1, vec![]);
+        let _ = agent.poll(vec![]);
+        let out = agent.poll(vec![]);
         assert!(matches!(
             agent.abort_reason(),
             Some(AbortReason::TooManyFaults {
@@ -1071,5 +580,27 @@ mod tests {
         assert!(out
             .iter()
             .any(|(r, b)| matches!(b, Body::Abort { .. }) && matches!(r, Recipient::Broadcast)));
+    }
+
+    #[test]
+    fn patience_defers_the_commitments_act() {
+        // With patience 3 and an empty inbox, the commitments phase waits
+        // two extra polls for stragglers before concluding TooManyFaults.
+        let cfg = config(5, 1, 8);
+        let mut agent = DmwAgent::new(cfg, 0, vec![1], Behavior::Suggested, 42).with_patience(3);
+        let _ = agent.poll(vec![]);
+        assert_eq!(agent.phase(), Phase::Commitments);
+        assert!(agent.poll(vec![]).is_empty());
+        assert!(agent.poll(vec![]).is_empty());
+        assert_eq!(agent.phase(), Phase::Commitments, "still waiting");
+        let out = agent.poll(vec![]);
+        assert!(
+            matches!(
+                agent.abort_reason(),
+                Some(AbortReason::TooManyFaults { .. })
+            ),
+            "patience exhausted, acted on the empty view"
+        );
+        assert!(!out.is_empty());
     }
 }

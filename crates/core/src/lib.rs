@@ -75,6 +75,7 @@ pub mod identity;
 pub mod messages;
 pub mod obedient;
 pub mod payment;
+pub mod phases;
 pub mod related_distributed;
 pub mod repeated;
 pub mod runner;

@@ -1,11 +1,22 @@
-//! The protocol runner: drives `n` agents over the simulated network.
+//! The protocol runner: a quiescence-driven scheduler over a pluggable
+//! [`Transport`].
 //!
 //! [`DmwRunner`] owns the published configuration (Phase I), instantiates
-//! one [`DmwAgent`] per participant, moves their messages through a
-//! [`dmw_simnet::Network`] in synchronous rounds, records the message
-//! trace (Fig. 2), and settles payments through the payment
-//! infrastructure. It is the reproduction's equivalent of "implementing
-//! DMW in a simulated distributed environment" (Section 5).
+//! one [`DmwAgent`] per participant, and steps a [`Transport`] until the
+//! round budget is exhausted or the system is quiescent (every agent
+//! terminal and no traffic in flight). Each scheduler tick polls every
+//! agent with its freshly delivered inbox; the agents' typed phase state
+//! machines ([`crate::phases`]) decide what to do with it. The runner
+//! records the message trace (Fig. 2) and settles payments through the
+//! payment infrastructure. It is the reproduction's equivalent of
+//! "implementing DMW in a simulated distributed environment" (Section 5).
+//!
+//! On the default [`dmw_simnet::LockstepTransport`] with the default
+//! patience, ticks coincide with the paper's synchronous rounds and honest
+//! runs take exactly [`PROTOCOL_ROUNDS`] of them. [`DmwRunner::run_on`]
+//! accepts any other transport — e.g. [`dmw_simnet::DelayTransport`] with
+//! per-link delays — together with [`DmwRunner::with_round_budget`] and
+//! [`DmwRunner::with_patience`] to give messages time to arrive.
 
 use crate::agent::{AgentStatus, DmwAgent};
 use crate::config::DmwConfig;
@@ -15,12 +26,15 @@ use crate::payment::settle;
 use crate::strategy::{Behavior, VerificationPolicy};
 use crate::trace::TraceEvent;
 use dmw_mechanism::{AgentId, ExecutionTimes, Schedule};
-use dmw_simnet::{FaultPlan, Network, NetworkStats, NodeId, Recipient};
+use dmw_simnet::{
+    coalesce, FaultPlan, LockstepTransport, NetworkStats, NodeId, Recipient, Transport,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Number of synchronous protocol rounds (0–4 active, one propagation
-/// round so late aborts reach every agent).
+/// Number of synchronous protocol rounds on the lockstep transport (0–4
+/// active, one propagation round so late aborts reach every agent). This
+/// is the default round budget of the scheduler.
 pub const PROTOCOL_ROUNDS: u64 = 6;
 
 /// The successful outcome of a DMW run.
@@ -98,6 +112,8 @@ pub struct DmwRunner {
     policy: VerificationPolicy,
     batching: bool,
     verify_threads: usize,
+    round_budget: u64,
+    patience: u64,
 }
 
 impl DmwRunner {
@@ -109,6 +125,8 @@ impl DmwRunner {
             policy: VerificationPolicy::Rotation,
             batching: false,
             verify_threads: 1,
+            round_budget: PROTOCOL_ROUNDS,
+            patience: 1,
         }
     }
 
@@ -139,6 +157,27 @@ impl DmwRunner {
     #[must_use]
     pub fn with_verify_threads(mut self, threads: usize) -> Self {
         self.verify_threads = threads.max(1);
+        self
+    }
+
+    /// Caps the number of scheduler ticks. The default is
+    /// [`PROTOCOL_ROUNDS`], which exactly reproduces the paper's lockstep
+    /// schedule; transports that delay delivery need a larger budget.
+    #[must_use]
+    pub fn with_round_budget(mut self, budget: u64) -> Self {
+        self.round_budget = budget.max(1);
+        self
+    }
+
+    /// Sets how many scheduler ticks an agent waits for a phase's inputs
+    /// to complete before acting on whatever arrived (see
+    /// [`DmwAgent::with_patience`]). The default of `1` acts at the first
+    /// poll after entering a phase — the lockstep schedule. Delaying
+    /// transports need patience of at least the worst-case delivery delay
+    /// plus one, or honest traffic is mistaken for silence.
+    #[must_use]
+    pub fn with_patience(mut self, patience: u64) -> Self {
+        self.patience = patience.max(1);
         self
     }
 
@@ -184,6 +223,39 @@ impl DmwRunner {
         rng: &mut R,
     ) -> Result<DmwRun, DmwError> {
         let n = self.config.agents();
+        self.run_on(
+            bids,
+            behaviors,
+            LockstepTransport::with_faults(n, faults),
+            rng,
+        )
+    }
+
+    /// Runs the protocol over an arbitrary [`Transport`].
+    ///
+    /// The scheduler polls every agent each tick (delivered inbox in,
+    /// outgoing messages out), steps the transport, and stops at the
+    /// round budget or as soon as every agent is terminal and the
+    /// transport is quiescent — whichever comes first. With the default
+    /// budget and patience on a [`LockstepTransport`] this reproduces the
+    /// paper's six synchronous rounds bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`DmwRunner::run`], plus [`DmwError::Config`] when the
+    /// transport's node count disagrees with the configuration.
+    pub fn run_on<T, R>(
+        &self,
+        bids: &ExecutionTimes,
+        behaviors: &[Behavior],
+        mut transport: T,
+        rng: &mut R,
+    ) -> Result<DmwRun, DmwError>
+    where
+        T: Transport<Body>,
+        R: Rng + ?Sized,
+    {
+        let n = self.config.agents();
         let m = bids.tasks();
         if bids.agents() != n {
             return Err(DmwError::ShapeMismatch {
@@ -194,6 +266,11 @@ impl DmwRunner {
         if behaviors.len() != n {
             return Err(DmwError::Config {
                 reason: format!("{} behaviors for {} agents", behaviors.len(), n),
+            });
+        }
+        if transport.nodes() != n {
+            return Err(DmwError::Config {
+                reason: format!("transport has {} nodes for {} agents", transport.nodes(), n),
             });
         }
         let w_max = self.config.encoding().w_max();
@@ -213,7 +290,7 @@ impl DmwRunner {
         // missing traffic and abort) must not be mistaken for a protocol
         // failure when scanning results below.
         let crashed: Vec<bool> = (0..n)
-            .map(|i| faults.is_crashed(NodeId(i), PROTOCOL_ROUNDS))
+            .map(|i| transport.faults().is_crashed(NodeId(i), self.round_budget))
             .collect();
 
         let seed: u64 = rng.gen();
@@ -231,35 +308,45 @@ impl DmwRunner {
                     seed,
                 )
                 .with_verify_width(self.verify_threads)
+                .with_patience(self.patience)
             })
             .collect();
-        let mut network: Network<Body> = Network::with_faults(n, faults);
         let mut trace = Vec::new();
 
-        for round in 0..PROTOCOL_ROUNDS {
+        let mut round: u64 = 0;
+        loop {
             for (i, agent) in agents.iter_mut().enumerate() {
-                let inbox = network.take_inbox(NodeId(i));
-                let outgoing = agent.on_round(round, inbox);
+                let inbox = transport.take_inbox(NodeId(i));
+                let outgoing = agent.poll(inbox);
                 let outgoing = if self.batching {
-                    coalesce(outgoing)
+                    coalesce(outgoing, Body::Batch)
                 } else {
                     outgoing
                 };
+                let phase = agent.acted_phase();
                 for (recipient, body) in outgoing {
                     trace.push(TraceEvent::new(
                         round,
+                        phase,
                         i,
                         &recipient,
                         body.kind(),
                         body.task(),
                     ));
                     match recipient {
-                        Recipient::Unicast(to) => network.send(NodeId(i), to, body),
-                        Recipient::Broadcast => network.broadcast(NodeId(i), body),
+                        Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
+                        Recipient::Broadcast => transport.broadcast(NodeId(i), body),
                     }
                 }
             }
-            network.step();
+            transport.step();
+            round += 1;
+            if round >= self.round_budget {
+                break;
+            }
+            if transport.is_quiescent() && agents.iter().all(DmwAgent::is_terminal) {
+                break;
+            }
         }
 
         // Any abort (own detection or peer notification) fails the run.
@@ -286,7 +373,7 @@ impl DmwRunner {
         if let Some(reason) = reason {
             return Ok(DmwRun {
                 result: RunResult::Aborted { reason, detectors },
-                network: *network.stats(),
+                network: *transport.stats(),
                 trace,
             });
         }
@@ -310,7 +397,7 @@ impl DmwRunner {
             })
         };
         let Some(reference) = done.first() else {
-            return unresolvable(trace, *network.stats());
+            return unresolvable(trace, *transport.stats());
         };
         let mut assignment = Vec::with_capacity(m);
         let mut first_prices = Vec::with_capacity(m);
@@ -324,7 +411,7 @@ impl DmwRunner {
                 reference.first_price_of(task),
                 reference.second_price_of(task),
             ) else {
-                return unresolvable(trace, *network.stats());
+                return unresolvable(trace, *transport.stats());
             };
             for other in &done {
                 if other.behavior().is_suggested() {
@@ -347,7 +434,7 @@ impl DmwRunner {
             .filter_map(|a| a.claim().map(<[u64]>::to_vec))
             .collect();
         let Some(settlement) = settle(&claims) else {
-            return unresolvable(trace, *network.stats());
+            return unresolvable(trace, *transport.stats());
         };
 
         Ok(DmwRun {
@@ -358,34 +445,10 @@ impl DmwRunner {
                 first_prices,
                 second_prices,
             }),
-            network: *network.stats(),
+            network: *transport.stats(),
             trace,
         })
     }
-}
-
-/// Coalesces one round's outgoing messages per recipient: a recipient
-/// with more than one pending message receives them as a single
-/// [`Body::Batch`].
-fn coalesce(outgoing: Vec<(Recipient, Body)>) -> Vec<(Recipient, Body)> {
-    let mut groups: Vec<(Recipient, Vec<Body>)> = Vec::new();
-    for (recipient, body) in outgoing {
-        match groups.iter_mut().find(|(r, _)| *r == recipient) {
-            Some((_, bodies)) => bodies.push(body),
-            None => groups.push((recipient, vec![body])),
-        }
-    }
-    groups
-        .into_iter()
-        .map(|(recipient, mut bodies)| {
-            if bodies.len() == 1 {
-                if let Some(only) = bodies.pop() {
-                    return (recipient, only);
-                }
-            }
-            (recipient, Body::Batch(bodies))
-        })
-        .collect()
 }
 
 /// Utility of each agent for a completed run: settled payment minus the

@@ -14,8 +14,14 @@ use std::fmt::Write as _;
 /// One recorded transmission.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
-    /// Synchronous round in which the message was sent.
+    /// Scheduler tick (lockstep: synchronous round) in which the message
+    /// was sent.
     pub round: u64,
+    /// Logical protocol phase the sender acted in when it emitted the
+    /// message (see [`crate::phases::Phase::label`]). Traces recorded
+    /// before this field existed deserialize with an empty label.
+    #[serde(default)]
+    pub phase: &'static str,
     /// Sender index.
     pub from: usize,
     /// Unicast target, or `None` for a published (broadcast) message.
@@ -30,6 +36,7 @@ impl TraceEvent {
     /// Builds an event from a send decision.
     pub fn new(
         round: u64,
+        phase: &'static str,
         from: usize,
         recipient: &Recipient,
         kind: &'static str,
@@ -41,6 +48,7 @@ impl TraceEvent {
         };
         TraceEvent {
             round,
+            phase,
             from,
             to,
             kind,
@@ -88,6 +96,30 @@ pub fn render_sequence_chart(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Renders a trace grouped by the sender's logical phase instead of the
+/// scheduler tick — the natural view once delivery timing is a transport
+/// parameter and ticks no longer map 1:1 onto protocol steps.
+pub fn render_phase_chart(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    let mut last_phase = "";
+    for e in events {
+        if e.phase != last_phase {
+            let _ = writeln!(out, "── phase {} ──", e.phase);
+            last_phase = e.phase;
+        }
+        let task = e.task.map(|t| format!(" [T{}]", t + 1)).unwrap_or_default();
+        match e.to {
+            Some(to) => {
+                let _ = writeln!(out, "  A{} --> A{}: {}{}", e.from + 1, to + 1, e.kind, task);
+            }
+            None => {
+                let _ = writeln!(out, "  A{} ==>* : {}{}", e.from + 1, e.kind, task);
+            }
+        }
+    }
+    out
+}
+
 /// Counts events of each kind, a compact summary used by experiments.
 pub fn kind_histogram(events: &[TraceEvent]) -> Vec<(&'static str, usize)> {
     let mut hist: Vec<(&'static str, usize)> = Vec::new();
@@ -107,9 +139,30 @@ mod tests {
 
     fn sample() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::new(0, 0, &Recipient::Unicast(NodeId(1)), "shares", Some(0)),
-            TraceEvent::new(0, 0, &Recipient::Broadcast, "commitments", Some(0)),
-            TraceEvent::new(1, 1, &Recipient::Broadcast, "lambda-psi", Some(0)),
+            TraceEvent::new(
+                0,
+                "bidding",
+                0,
+                &Recipient::Unicast(NodeId(1)),
+                "shares",
+                Some(0),
+            ),
+            TraceEvent::new(
+                0,
+                "bidding",
+                0,
+                &Recipient::Broadcast,
+                "commitments",
+                Some(0),
+            ),
+            TraceEvent::new(
+                1,
+                "commitments",
+                1,
+                &Recipient::Broadcast,
+                "lambda-psi",
+                Some(0),
+            ),
         ]
     }
 
@@ -128,6 +181,16 @@ mod tests {
         assert!(chart.contains("A1 --> A2: shares [T1]"));
         assert!(chart.contains("A1 ==>* : commitments [T1]"));
         assert!(chart.contains("── round 1 ──"));
+    }
+
+    #[test]
+    fn phase_chart_groups_by_logical_phase() {
+        let chart = render_phase_chart(&sample());
+        assert!(chart.contains("── phase bidding ──"));
+        assert!(chart.contains("── phase commitments ──"));
+        assert!(chart.contains("A2 ==>* : lambda-psi [T1]"));
+        // The two bidding events share one header.
+        assert_eq!(chart.matches("── phase bidding ──").count(), 1);
     }
 
     #[test]

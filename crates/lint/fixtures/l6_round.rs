@@ -1,0 +1,18 @@
+//! L6 fixture: raw round-number dispatch in a protocol phase module.
+//! Every `round`-keyed construct here must be caught when linted under a
+//! `crates/core/src/phases/` path.
+
+pub fn dispatch(round: u64) -> u32 {
+    match round {
+        0 => 1,
+        other => u32::from(other > 10),
+    }
+}
+
+pub fn late_enough(round: u64) -> bool {
+    round >= 4
+}
+
+pub fn is_third(round: u64) -> bool {
+    3 == round
+}

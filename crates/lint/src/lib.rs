@@ -5,7 +5,7 @@
 //! dispatch, no raw machine arithmetic on field residues, no wildcard
 //! dispatch over protocol enums, no ambient entropy, no truncating casts
 //! in the arithmetic core. This crate enforces them lexically: a small
-//! Rust lexer ([`lexer`]), five token-pattern rules ([`rules`]) scoped to
+//! Rust lexer ([`lexer`]), six token-pattern rules ([`rules`]) scoped to
 //! the modules where they are unambiguous, and a justified-allowlist
 //! escape hatch ([`allow`]). See `docs/static_analysis.md` for the rule
 //! catalogue and rationale.
@@ -45,13 +45,17 @@ fn rules_for_path(path: &str) -> Vec<Rule> {
     let mut out: Vec<Rule> = Vec::new();
     let in_crypto = path.starts_with("crates/crypto/src/");
     let in_modmath = path.starts_with("crates/modmath/src/");
+    // The typed phase state machine: the protocol equations moved here
+    // from agent.rs, and its round-independence is what L6 protects.
+    let in_phases = path.starts_with("crates/core/src/phases/");
 
-    if in_crypto || CORE_CRITICAL.contains(&path) {
+    if in_crypto || in_phases || CORE_CRITICAL.contains(&path) {
         out.push(rules::l1);
     }
     // codec.rs is excluded from L2: byte/bit packing legitimately uses
     // `%` and shifts on lengths, never on field values.
     if in_crypto
+        || in_phases
         || [
             "crates/core/src/agent.rs",
             "crates/core/src/payment.rs",
@@ -67,6 +71,11 @@ fn rules_for_path(path: &str) -> Vec<Rule> {
     out.push(rules::l4); // everywhere
     if in_modmath || in_crypto {
         out.push(rules::l5);
+    }
+    // The scheduler (runner.rs) is the only module allowed to reason
+    // about round numbers; the agent and its phases must not.
+    if in_phases || path == "crates/core/src/agent.rs" {
+        out.push(rules::l6);
     }
     out
 }

@@ -1,4 +1,4 @@
-//! The five protocol-invariant rules (L1–L5).
+//! The six protocol-invariant rules (L1–L6).
 //!
 //! Each rule is a pure function over the token stream of one file (test
 //! modules already stripped) and reports [`Finding`]s with 1-based lines.
@@ -13,7 +13,7 @@ use crate::lexer::{Token, TokenKind};
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`L1` … `L5`, or `allowlist` for directive misuse).
+    /// Rule identifier (`L1` … `L6`, or `allowlist` for directive misuse).
     pub rule: &'static str,
     /// Key an allow directive must name to suppress this finding (`L1`
     /// findings for slice indexing use the narrower `L1-index`).
@@ -427,6 +427,88 @@ pub fn l5(tokens: &[Token]) -> Vec<Finding> {
     out
 }
 
+/// L6 — no raw round-number dispatch in the protocol phase modules: the
+/// typed phase state machine owns protocol progression, so `match` over a
+/// bare `round` counter (`match round { … }`, `match self.round { … }`)
+/// and comparisons of `round` against integer literals (`round >= 4`,
+/// `3 == round`) are banned outside the scheduler. A phase must decide
+/// from *what arrived* (or its patience budget), never from *when it is*.
+pub fn l6(tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let is_cmp_head =
+        |t: Option<&Token>| matches!(t.map(|x| x.kind), Some(TokenKind::Punct('<' | '>')));
+    for (i, t) in tokens.iter().enumerate() {
+        if !is_ident(t, "round") {
+            continue;
+        }
+        // `match round {` / `match self.round {` — walk back over a
+        // field-access chain to the `match` keyword.
+        if tokens.get(i + 1).map(|n| n.kind) == Some(TokenKind::Punct('{')) {
+            let mut pos = i;
+            while pos >= 2
+                && tokens[pos - 1].kind == TokenKind::Punct('.')
+                && tokens[pos - 2].kind == TokenKind::Ident
+            {
+                pos -= 2;
+            }
+            if pos >= 1 && is_ident(&tokens[pos - 1], "match") {
+                out.push(finding(
+                    "L6",
+                    "L6",
+                    t.line,
+                    "`match` over a round counter — dispatch on the typed \
+                     `Phase` state machine, not on wall-clock rounds"
+                        .to_owned(),
+                ));
+                continue;
+            }
+        }
+        // `round <op> literal` with op in == != < <= > >=.
+        let next = tokens.get(i + 1);
+        let literal_after = if next.map(|n| n.kind) == Some(TokenKind::Punct('='))
+            || next.map(|n| n.kind) == Some(TokenKind::Punct('!'))
+        {
+            // `==` / `!=` need a second `=`.
+            tokens.get(i + 2).map(|n| n.kind) == Some(TokenKind::Punct('='))
+                && tokens.get(i + 3).map(|n| n.kind) == Some(TokenKind::Literal)
+        } else if is_cmp_head(next) {
+            // `<` / `>` optionally followed by `=`.
+            match tokens.get(i + 2).map(|n| n.kind) {
+                Some(TokenKind::Punct('=')) => {
+                    tokens.get(i + 3).map(|n| n.kind) == Some(TokenKind::Literal)
+                }
+                Some(TokenKind::Literal) => true,
+                _ => false,
+            }
+        } else {
+            false
+        };
+        // `literal <op> round`, scanning back from the counter.
+        let literal_before = if i >= 3
+            && tokens[i - 1].kind == TokenKind::Punct('=')
+            && matches!(tokens[i - 2].kind, TokenKind::Punct('=' | '!' | '<' | '>'))
+        {
+            tokens[i - 3].kind == TokenKind::Literal
+        } else if i >= 2 && is_cmp_head(Some(&tokens[i - 1])) {
+            tokens[i - 2].kind == TokenKind::Literal
+        } else {
+            false
+        };
+        if literal_after || literal_before {
+            out.push(finding(
+                "L6",
+                "L6",
+                t.line,
+                "round counter compared against a bare literal — phase \
+                 completeness (or the patience budget) decides progression, \
+                 not round numbers"
+                    .to_owned(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,5 +587,28 @@ mod tests {
         assert_eq!(run(l5, "let x = y as u32;").len(), 1);
         assert_eq!(run(l5, "let x = y as usize;").len(), 1);
         assert!(run(l5, "let x = y as u64; let z = y as u128;").is_empty());
+    }
+
+    #[test]
+    fn l6_catches_round_dispatch_and_literal_comparisons() {
+        assert_eq!(run(l6, "match round { 0 => a(), other => b() }").len(), 1);
+        assert_eq!(run(l6, "match self.round { 0 => a(), n => b() }").len(), 1);
+        assert_eq!(run(l6, "if round >= 4 { act(); }").len(), 1);
+        assert_eq!(run(l6, "if round == 2 { act(); }").len(), 1);
+        assert_eq!(run(l6, "if 3 == round { act(); }").len(), 1);
+        assert_eq!(run(l6, "while round < 6 { tick(); }").len(), 1);
+    }
+
+    #[test]
+    fn l6_permits_counters_that_do_not_dispatch() {
+        let clean = "
+            fn f(round: u64, budget: u64) -> bool {
+                let next = round + 1;
+                round >= budget || transport.round() >= budget
+            }
+        ";
+        assert!(run(l6, clean).is_empty(), "{:?}", run(l6, clean));
+        // Matching on the *phase* is the sanctioned dispatch.
+        assert!(run(l6, "match agent.phase { Phase::Bidding => a() }").is_empty());
     }
 }

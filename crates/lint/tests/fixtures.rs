@@ -83,6 +83,23 @@ fn l5_fixture_catches_narrowing_casts_only() {
 }
 
 #[test]
+fn l6_fixture_catches_round_dispatch_in_phase_modules() {
+    let source = include_str!("../fixtures/l6_round.rs");
+    let findings = lint_fixture("crates/core/src/phases/fixture.rs", source);
+    assert_eq!(
+        rules_of(&findings),
+        vec!["L6"; 3],
+        "match round + round >= 4 + 3 == round: {findings:?}"
+    );
+    // The same source is legal in the scheduler, where round numbers are
+    // the scheduler's own business.
+    assert!(
+        lint_fixture("crates/core/src/runner.rs", source).is_empty(),
+        "L6 must not police the scheduler"
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean_under_the_strictest_scope() {
     let findings = lint_fixture(
         "crates/crypto/src/fixture.rs",

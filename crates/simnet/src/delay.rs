@@ -1,0 +1,465 @@
+//! A deterministic asynchronous transport with per-link delivery delays.
+//!
+//! [`DelayTransport`] relaxes the lockstep model: every message is held
+//! for `1 + base + per-link schedule + seeded jitter` ticks before it
+//! reaches the recipient's inbox. The delay draw is a pure function of
+//! the profile seed and a per-message sequence number, so a run is
+//! bit-replayable — asynchrony here is a *parameter*, not a source of
+//! nondeterminism. With [`DelayProfile::synchronous`] (and no per-link
+//! schedule) the transport degenerates to exactly the lockstep delivery
+//! order, which is how the equivalence tests anchor it.
+//!
+//! An optional seeded inbox shuffle additionally permutes same-tick
+//! arrivals per recipient, probing the protocol's independence from
+//! arrival order *within* a tick.
+
+use crate::faults::FaultPlan;
+use crate::network::{Delivered, NodeId, Payload};
+use crate::stats::NetworkStats;
+use crate::transport::Transport;
+use std::collections::VecDeque;
+
+/// SplitMix64: the classic 64-bit finalizer-based generator. Self-contained
+/// so the simulator stays free of RNG dependencies and ambient entropy —
+/// every draw is a pure function of the inputs.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The latency model of a [`DelayTransport`]: every message waits
+/// `1 + base + U{0..=jitter}` ticks, the jitter term drawn from a seeded
+/// deterministic stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayProfile {
+    base: u64,
+    jitter: u64,
+    seed: u64,
+}
+
+impl DelayProfile {
+    /// Next-tick delivery, exactly like the lockstep transport.
+    pub fn synchronous() -> Self {
+        Self::fixed(0)
+    }
+
+    /// Every message waits a fixed `base` extra ticks.
+    pub fn fixed(base: u64) -> Self {
+        DelayProfile {
+            base,
+            jitter: 0,
+            seed: 0,
+        }
+    }
+
+    /// Every message waits `base` plus a seeded draw from `0..=jitter`
+    /// extra ticks.
+    pub fn jittered(base: u64, jitter: u64, seed: u64) -> Self {
+        DelayProfile { base, jitter, seed }
+    }
+
+    /// The largest extra delay this profile can assign.
+    pub fn max_extra_delay(&self) -> u64 {
+        self.base + self.jitter
+    }
+
+    /// The extra delay for the message with sequence number `seq`.
+    fn draw(&self, seq: u64) -> u64 {
+        if self.jitter == 0 {
+            self.base
+        } else {
+            self.base + splitmix64(self.seed ^ seq) % (self.jitter + 1)
+        }
+    }
+}
+
+/// One held transmission, waiting for its due tick.
+#[derive(Debug, Clone)]
+struct Held<M> {
+    due: u64,
+    sent_round: u64,
+    from: NodeId,
+    to: NodeId,
+    broadcast: bool,
+    payload: M,
+}
+
+/// An asynchronous-but-deterministic implementation of [`Transport`].
+///
+/// Fault semantics mirror the lockstep transport: a message is lost when
+/// its sender was crashed at the tick it was sent, its recipient is
+/// crashed at the tick before delivery completes, the directed link is
+/// dropped, or the periodic-drop schedule claims the transmission.
+/// Traffic counters follow the same convention (`point_to_point`/`bytes`
+/// at enqueue, `delivered`/`dropped` at delivery), so Theorem 11's cost
+/// accounting is unchanged by asynchrony.
+#[derive(Debug)]
+pub struct DelayTransport<M> {
+    n: usize,
+    round: u64,
+    holding: Vec<Held<M>>,
+    inboxes: Vec<VecDeque<Delivered<M>>>,
+    stats: NetworkStats,
+    faults: FaultPlan,
+    transmissions: u64,
+    profile: DelayProfile,
+    shuffle_seed: Option<u64>,
+    seq: u64,
+}
+
+impl<M: Payload + Clone> DelayTransport<M> {
+    /// Creates a fault-free delayed network of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, profile: DelayProfile) -> Self {
+        Self::with_faults(n, FaultPlan::none(n), profile)
+    }
+
+    /// Creates a delayed network with a fault schedule (whose
+    /// [`FaultPlan::link_delay`] entries add to the profile's latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_faults(n: usize, faults: FaultPlan, profile: DelayProfile) -> Self {
+        assert!(n > 0, "network needs at least one node");
+        DelayTransport {
+            n,
+            round: 0,
+            holding: Vec::new(),
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            stats: NetworkStats::default(),
+            faults,
+            transmissions: 0,
+            profile,
+            shuffle_seed: None,
+            seq: 0,
+        }
+    }
+
+    /// Additionally permutes each recipient's same-tick arrivals with a
+    /// seeded Fisher–Yates shuffle — delivery-order fuzzing that stays
+    /// bit-replayable.
+    pub fn with_inbox_shuffle(mut self, seed: u64) -> Self {
+        self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// The latency model in force.
+    pub fn profile(&self) -> &DelayProfile {
+        &self.profile
+    }
+
+    fn enqueue(&mut self, from: NodeId, to: NodeId, broadcast: bool, payload: M) {
+        self.stats.point_to_point += 1;
+        self.stats.bytes += payload.size_bytes() as u64;
+        self.seq += 1;
+        let delay = self.profile.draw(self.seq) + self.faults.link_delay(from, to);
+        self.holding.push(Held {
+            due: self.round + 1 + delay,
+            sent_round: self.round,
+            from,
+            to,
+            broadcast,
+            payload,
+        });
+    }
+
+    /// Enqueues a private point-to-point message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `from == to`.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        assert!(from.0 < self.n && to.0 < self.n, "node out of range");
+        assert_ne!(from, to, "self-sends are local state, not messages");
+        self.enqueue(from, to, false, payload);
+    }
+
+    /// Publishes a message to every other node — `n − 1` point-to-point
+    /// transmissions, each with its own delay draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn broadcast(&mut self, from: NodeId, payload: M) {
+        assert!(from.0 < self.n, "node out of range");
+        self.stats.broadcasts += 1;
+        for to in 0..self.n {
+            if to == from.0 {
+                continue;
+            }
+            self.enqueue(from, NodeId(to), true, payload.clone());
+        }
+    }
+
+    /// Advances one tick: messages whose due tick has arrived move into
+    /// inboxes (in enqueue order, unless shuffled). Returns the number
+    /// delivered.
+    pub fn step(&mut self) -> u64 {
+        let next = self.round + 1;
+        let (mut arrivals, kept): (Vec<Held<M>>, Vec<Held<M>>) = std::mem::take(&mut self.holding)
+            .into_iter()
+            .partition(|msg| msg.due <= next);
+        self.holding = kept;
+        if let Some(seed) = self.shuffle_seed {
+            self.shuffle_per_recipient(&mut arrivals, seed);
+        }
+        let mut delivered = 0;
+        for msg in arrivals {
+            self.transmissions += 1;
+            let lost = self.faults.is_crashed(msg.from, msg.sent_round)
+                || self.faults.is_crashed(msg.to, msg.due.saturating_sub(1))
+                || self.faults.is_link_dropped(msg.from, msg.to)
+                || self.faults.is_periodically_dropped(self.transmissions);
+            if lost {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.inboxes[msg.to.0].push_back(Delivered {
+                from: msg.from,
+                broadcast: msg.broadcast,
+                payload: msg.payload,
+            });
+            delivered += 1;
+        }
+        self.stats.delivered += delivered;
+        self.stats.rounds += 1;
+        self.round = next;
+        delivered
+    }
+
+    /// Seeded Fisher–Yates over each recipient's slice of this tick's
+    /// arrivals. Only positions belonging to the same recipient swap, so
+    /// cross-recipient structure is untouched.
+    fn shuffle_per_recipient(&self, arrivals: &mut [Held<M>], seed: u64) {
+        for node in 0..self.n {
+            let slots: Vec<usize> = arrivals
+                .iter()
+                .enumerate()
+                .filter(|(_, msg)| msg.to.0 == node)
+                .map(|(i, _)| i)
+                .collect();
+            if slots.len() < 2 {
+                continue;
+            }
+            let mut state = splitmix64(seed ^ (self.round << 20) ^ node as u64);
+            for i in (1..slots.len()).rev() {
+                state = splitmix64(state);
+                let j = (state % (i as u64 + 1)) as usize;
+                arrivals.swap(slots[i], slots[j]);
+            }
+        }
+    }
+
+    /// Drains and returns `node`'s inbox in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn take_inbox(&mut self, node: NodeId) -> Vec<Delivered<M>> {
+        assert!(node.0 < self.n, "node out of range");
+        self.inboxes[node.0].drain(..).collect()
+    }
+
+    /// The traffic counters.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The fault schedule.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The current tick number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when nothing is held in flight and every inbox is drained.
+    pub fn is_quiescent(&self) -> bool {
+        self.holding.is_empty() && self.inboxes.iter().all(VecDeque::is_empty)
+    }
+}
+
+impl<M: Payload + Clone> Transport<M> for DelayTransport<M> {
+    fn nodes(&self) -> usize {
+        DelayTransport::nodes(self)
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        DelayTransport::send(self, from, to, payload);
+    }
+
+    fn broadcast(&mut self, from: NodeId, payload: M) {
+        DelayTransport::broadcast(self, from, payload);
+    }
+
+    fn take_inbox(&mut self, node: NodeId) -> Vec<Delivered<M>> {
+        DelayTransport::take_inbox(self, node)
+    }
+
+    fn step(&mut self) -> u64 {
+        DelayTransport::step(self)
+    }
+
+    fn round(&self) -> u64 {
+        DelayTransport::round(self)
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        DelayTransport::stats(self)
+    }
+
+    fn faults(&self) -> &FaultPlan {
+        DelayTransport::faults(self)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        DelayTransport::is_quiescent(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_profile_delivers_next_tick_like_lockstep() {
+        let mut net: DelayTransport<u64> = DelayTransport::new(3, DelayProfile::synchronous());
+        net.send(NodeId(0), NodeId(1), 42);
+        net.broadcast(NodeId(2), 7);
+        assert!(!net.is_quiescent());
+        assert_eq!(net.step(), 3);
+        let inbox = net.take_inbox(NodeId(1));
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].payload, 42);
+        assert!(inbox[1].broadcast);
+        assert_eq!(net.stats().point_to_point, 3);
+        assert_eq!(net.stats().broadcasts, 1);
+    }
+
+    #[test]
+    fn fixed_delay_holds_messages_for_base_extra_ticks() {
+        let mut net: DelayTransport<u64> = DelayTransport::new(2, DelayProfile::fixed(2));
+        net.send(NodeId(0), NodeId(1), 5);
+        assert_eq!(net.step(), 0, "tick 1: still held");
+        assert_eq!(net.step(), 0, "tick 2: still held");
+        assert_eq!(net.step(), 1, "tick 3: due");
+        assert_eq!(net.take_inbox(NodeId(1)).len(), 1);
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn per_link_schedule_adds_to_the_profile() {
+        let plan = FaultPlan::none(3).delay_link(NodeId(0), NodeId(1), 2);
+        let mut net: DelayTransport<u64> =
+            DelayTransport::with_faults(3, plan, DelayProfile::synchronous());
+        net.send(NodeId(0), NodeId(1), 1); // delayed link: due at tick 3
+        net.send(NodeId(0), NodeId(2), 2); // plain link: due at tick 1
+        net.step();
+        assert_eq!(net.take_inbox(NodeId(2)).len(), 1);
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        net.step();
+        net.step();
+        assert_eq!(net.take_inbox(NodeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_replayable() {
+        let profile = DelayProfile::jittered(1, 3, 99);
+        let run = |profile: DelayProfile| {
+            let mut net: DelayTransport<u64> = DelayTransport::new(2, profile);
+            for k in 0..20 {
+                net.send(NodeId(0), NodeId(1), k);
+            }
+            let mut arrivals = Vec::new();
+            for tick in 0..12 {
+                net.step();
+                for msg in net.take_inbox(NodeId(1)) {
+                    arrivals.push((tick, msg.payload));
+                }
+            }
+            assert!(net.is_quiescent(), "all messages within base+jitter ticks");
+            arrivals
+        };
+        let first = run(profile);
+        assert_eq!(first, run(profile), "same seed, same arrival schedule");
+        for (tick, _) in &first {
+            assert!(
+                (1..=4).contains(tick),
+                "arrival tick {tick} outside 1 + base..=base+jitter"
+            );
+        }
+        assert!(
+            first != run(DelayProfile::jittered(1, 3, 100)),
+            "different seed, different schedule"
+        );
+    }
+
+    #[test]
+    fn inbox_shuffle_permutes_within_a_recipient_only() {
+        let mut plain: DelayTransport<u64> = DelayTransport::new(3, DelayProfile::synchronous());
+        let mut shuffled: DelayTransport<u64> =
+            DelayTransport::new(3, DelayProfile::synchronous()).with_inbox_shuffle(7);
+        for net in [&mut plain, &mut shuffled] {
+            for k in 0..8 {
+                net.send(NodeId(0), NodeId(1), k);
+                net.send(NodeId(0), NodeId(2), 100 + k);
+            }
+            net.step();
+        }
+        let base1: Vec<u64> = plain
+            .take_inbox(NodeId(1))
+            .into_iter()
+            .map(|d| d.payload)
+            .collect();
+        let mix1: Vec<u64> = shuffled
+            .take_inbox(NodeId(1))
+            .into_iter()
+            .map(|d| d.payload)
+            .collect();
+        let mut sorted = mix1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, base1, "shuffle is a permutation of the same set");
+        assert_ne!(mix1, base1, "seed 7 actually permutes this batch");
+        let mix2: Vec<u64> = shuffled
+            .take_inbox(NodeId(2))
+            .into_iter()
+            .map(|d| d.payload)
+            .collect();
+        let mut sorted2 = mix2.clone();
+        sorted2.sort_unstable();
+        assert_eq!(sorted2, (100..108).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn crash_and_drop_semantics_mirror_lockstep() {
+        let plan = FaultPlan::none(3)
+            .crash_at(NodeId(1), 0)
+            .drop_link(NodeId(0), NodeId(2));
+        let mut net: DelayTransport<u64> =
+            DelayTransport::with_faults(3, plan, DelayProfile::synchronous());
+        net.send(NodeId(0), NodeId(1), 1); // to crashed node
+        net.send(NodeId(1), NodeId(2), 2); // from crashed node
+        net.send(NodeId(0), NodeId(2), 3); // dropped link
+        net.send(NodeId(2), NodeId(0), 4); // unaffected
+        net.step();
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        assert!(net.take_inbox(NodeId(2)).is_empty());
+        assert_eq!(net.take_inbox(NodeId(0)).len(), 1);
+        assert_eq!(net.stats().dropped, 3);
+        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(net.stats().in_flight(), 0);
+    }
+}

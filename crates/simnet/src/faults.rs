@@ -9,7 +9,8 @@ use crate::network::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
-/// A declarative fault schedule applied by [`crate::Network`].
+/// A declarative fault schedule applied by the [`crate::Transport`]
+/// implementations.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// `crashes[i] = Some(r)` crashes node `i` at the *start* of round `r`:
@@ -21,6 +22,13 @@ pub struct FaultPlan {
     /// Drop every `k`-th transmitted message (deterministic lossy
     /// network; `None` = lossless).
     drop_every: Option<u64>,
+    /// Extra delivery delay, in rounds, for specific directed links —
+    /// honoured by [`crate::DelayTransport`] (the lockstep transport
+    /// models the paper's synchronous barriers and ignores it). Kept as a
+    /// sorted-insert-free `Vec` rather than a map: plans are tiny and a
+    /// linear probe keeps iteration order (and hence replay) trivially
+    /// deterministic.
+    link_delays: Vec<(usize, usize, u64)>,
 }
 
 impl FaultPlan {
@@ -30,6 +38,7 @@ impl FaultPlan {
             crashes: vec![None; n],
             dropped_links: HashSet::new(),
             drop_every: None,
+            link_delays: Vec::new(),
         }
     }
 
@@ -83,6 +92,37 @@ impl FaultPlan {
         self.dropped_links.contains(&(from.0, to.0))
     }
 
+    /// Delays every message on the directed link `from → to` by an extra
+    /// `rounds` ticks beyond the transport's own latency. Scheduling the
+    /// same link twice keeps the later value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn delay_link(mut self, from: NodeId, to: NodeId, rounds: u64) -> Self {
+        assert!(from.0 < self.crashes.len() && to.0 < self.crashes.len());
+        if let Some(entry) = self
+            .link_delays
+            .iter_mut()
+            .find(|(f, t, _)| *f == from.0 && *t == to.0)
+        {
+            entry.2 = rounds;
+        } else {
+            self.link_delays.push((from.0, to.0, rounds));
+        }
+        self
+    }
+
+    /// The scheduled extra delay for the directed link `from → to`
+    /// (`0` when the link has none).
+    pub fn link_delay(&self, from: NodeId, to: NodeId) -> u64 {
+        self.link_delays
+            .iter()
+            .find(|(f, t, _)| *f == from.0 && *t == to.0)
+            .map(|(_, _, d)| *d)
+            .unwrap_or(0)
+    }
+
     /// Number of nodes that are crashed as of `round`.
     pub fn crashed_count(&self, round: u64) -> usize {
         self.crashes
@@ -119,5 +159,16 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_crash_panics() {
         let _ = FaultPlan::none(2).crash_at(NodeId(5), 0);
+    }
+
+    #[test]
+    fn link_delays_are_directional_and_last_write_wins() {
+        let plan = FaultPlan::none(3)
+            .delay_link(NodeId(0), NodeId(1), 2)
+            .delay_link(NodeId(0), NodeId(1), 4)
+            .delay_link(NodeId(2), NodeId(0), 1);
+        assert_eq!(plan.link_delay(NodeId(0), NodeId(1)), 4);
+        assert_eq!(plan.link_delay(NodeId(1), NodeId(0)), 0);
+        assert_eq!(plan.link_delay(NodeId(2), NodeId(0)), 1);
     }
 }

@@ -9,15 +9,20 @@
 //!   **broadcast channel** (Section 3, "Notation") — broadcast is
 //!   implemented as `n − 1` point-to-point transmissions, matching the cost
 //!   accounting of Theorem 11 ("we assume no explicit broadcast facilities");
-//! * an **obedient transport**: messages are neither reordered within a
-//!   round nor corrupted in flight (Theorem 3 assumes the underlying
-//!   network is obedient — dishonest *content* is produced by deviating
-//!   agents, not by the network);
-//! * **synchronous rounds** with implicit synchronization barriers, the
-//!   model behind protocol step II.4 ("agents implicitly synchronize at
-//!   this point");
+//! * an **obedient transport**: messages are neither reordered in flight
+//!   nor corrupted (Theorem 3 assumes the underlying network is obedient
+//!   — dishonest *content* is produced by deviating agents, not by the
+//!   network);
+//! * **delivery timing as a parameter**: the [`Transport`] trait
+//!   abstracts *when* an enqueued message becomes visible.
+//!   [`LockstepTransport`] keeps the paper's synchronous rounds with
+//!   implicit barriers (protocol step II.4, "agents implicitly
+//!   synchronize at this point"); [`DelayTransport`] holds each message
+//!   for a deterministic seeded per-link delay, modelling asynchrony
+//!   without giving up replayability;
 //! * **fault injection**: crash faults (an agent stops sending and
-//!   receiving) and link drops, used by the resilience ablation.
+//!   receiving), link drops and link delays, used by the resilience
+//!   ablation.
 //!
 //! Every transmission is tallied in [`NetworkStats`]; the Table 1
 //! communication experiment reads its counters.
@@ -27,9 +32,9 @@
 //! ```
 //! use dmw_simnet::{Network, NodeId, Recipient};
 //!
-//! let mut net: Network<&'static str> = Network::new(3);
-//! net.send(NodeId(0), NodeId(1), "hello");
-//! net.broadcast(NodeId(2), "to everyone");
+//! let mut net: Network<u64> = Network::new(3);
+//! net.send(NodeId(0), NodeId(1), 41);
+//! net.broadcast(NodeId(2), 42);
 //! net.step(); // deliver the round's traffic
 //! assert_eq!(net.take_inbox(NodeId(1)).len(), 2); // unicast + broadcast
 //! assert_eq!(net.stats().point_to_point, 1 + 2);  // broadcast = n−1 sends
@@ -38,10 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delay;
 pub mod faults;
 pub mod network;
 pub mod stats;
+pub mod transport;
 
+pub use delay::{DelayProfile, DelayTransport};
 pub use faults::FaultPlan;
-pub use network::{Delivered, Network, NodeId, Payload, Recipient};
+pub use network::{Delivered, LockstepTransport, Network, NodeId, Payload, Recipient};
 pub use stats::NetworkStats;
+pub use transport::{coalesce, Transport};

@@ -2,6 +2,7 @@
 
 use crate::faults::FaultPlan;
 use crate::stats::NetworkStats;
+use crate::transport::Transport;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -31,12 +32,6 @@ pub enum Recipient {
 pub trait Payload {
     /// Approximate serialized size in bytes.
     fn size_bytes(&self) -> usize;
-}
-
-impl Payload for &str {
-    fn size_bytes(&self) -> usize {
-        self.len()
-    }
 }
 
 impl Payload for u64 {
@@ -71,13 +66,14 @@ struct InFlight<M> {
     payload: M,
 }
 
-/// A synchronous network of `n` nodes with per-round delivery.
+/// A synchronous network of `n` nodes with per-round delivery — the
+/// lockstep implementation of [`Transport`].
 ///
 /// Messages enqueued during round `r` are delivered together when
-/// [`Network::step`] is called, becoming visible in round `r + 1` — the
-/// implicit synchronization barrier of protocol step II.4.
+/// [`LockstepTransport::step`] is called, becoming visible in round
+/// `r + 1` — the implicit synchronization barrier of protocol step II.4.
 #[derive(Debug)]
-pub struct Network<M> {
+pub struct LockstepTransport<M> {
     n: usize,
     round: u64,
     pending: Vec<InFlight<M>>,
@@ -88,7 +84,12 @@ pub struct Network<M> {
     transmissions: u64,
 }
 
-impl<M: Payload + Clone> Network<M> {
+/// Historical name of [`LockstepTransport`], kept as an alias: the
+/// synchronous network predates the [`Transport`] trait and most code
+/// (and the paper's own vocabulary) still says "the network".
+pub type Network<M> = LockstepTransport<M>;
+
+impl<M: Payload + Clone> LockstepTransport<M> {
     /// Creates a fault-free network of `n` nodes.
     ///
     /// # Panics
@@ -105,7 +106,7 @@ impl<M: Payload + Clone> Network<M> {
     /// Panics if `n == 0`.
     pub fn with_faults(n: usize, faults: FaultPlan) -> Self {
         assert!(n > 0, "network needs at least one node");
-        Network {
+        LockstepTransport {
             n,
             round: 0,
             pending: Vec::new(),
@@ -117,13 +118,8 @@ impl<M: Payload + Clone> Network<M> {
     }
 
     /// Number of nodes.
-    pub fn len(&self) -> usize {
+    pub fn nodes(&self) -> usize {
         self.n
-    }
-
-    /// `true` iff the network has no nodes (never true after construction).
-    pub fn is_empty(&self) -> bool {
-        self.n == 0
     }
 
     /// The current round number.
@@ -147,7 +143,7 @@ impl<M: Payload + Clone> Network<M> {
     }
 
     /// Sends a private point-to-point message, delivered at the next
-    /// [`Network::step`]. Messages from or to crashed nodes are counted as
+    /// [`LockstepTransport::step`]. Messages from or to crashed nodes are counted as
     /// sent but will be dropped at delivery.
     ///
     /// # Panics
@@ -234,9 +230,48 @@ impl<M: Payload + Clone> Network<M> {
         self.inboxes[node.0].len()
     }
 
-    /// `true` when no traffic is pending delivery.
+    /// `true` when no traffic is pending delivery and every inbox has
+    /// been drained — nothing the protocol could still react to.
     pub fn is_quiescent(&self) -> bool {
-        self.pending.is_empty()
+        self.pending.is_empty() && self.inboxes.iter().all(VecDeque::is_empty)
+    }
+}
+
+impl<M: Payload + Clone> Transport<M> for LockstepTransport<M> {
+    fn nodes(&self) -> usize {
+        LockstepTransport::nodes(self)
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        LockstepTransport::send(self, from, to, payload);
+    }
+
+    fn broadcast(&mut self, from: NodeId, payload: M) {
+        LockstepTransport::broadcast(self, from, payload);
+    }
+
+    fn take_inbox(&mut self, node: NodeId) -> Vec<Delivered<M>> {
+        LockstepTransport::take_inbox(self, node)
+    }
+
+    fn step(&mut self) -> u64 {
+        LockstepTransport::step(self)
+    }
+
+    fn round(&self) -> u64 {
+        LockstepTransport::round(self)
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        LockstepTransport::stats(self)
+    }
+
+    fn faults(&self) -> &FaultPlan {
+        LockstepTransport::faults(self)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        LockstepTransport::is_quiescent(self)
     }
 }
 

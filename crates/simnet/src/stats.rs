@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Cumulative traffic counters for one [`crate::Network`].
+/// Cumulative traffic counters for one [`crate::Transport`].
 ///
 /// `point_to_point` counts every unicast transmission, *including* the
 /// `n − 1` unicasts that implement each broadcast — this is the quantity

@@ -10,7 +10,7 @@
 #      and the protocol-critical modules of `dmw` are policed by dmw-lint
 #   3. cargo doc                  -- rustdoc warnings (broken intra-doc
 #      links, missing docs) are errors
-#   4. dmw-lint                   -- protocol-invariant rules L1-L5
+#   4. dmw-lint                   -- protocol-invariant rules L1-L6
 #   5. cargo test                 -- full workspace suite (which re-runs
 #      dmw-lint as an integration test, so CI cannot skip it)
 #   6. bench_batch --smoke        -- the batch engine end-to-end on a tiny

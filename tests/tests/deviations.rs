@@ -126,6 +126,50 @@ fn each_tampering_deviation_is_detected_with_the_right_reason() {
 }
 
 #[test]
+fn every_tampering_deviation_is_still_detected_under_delay() {
+    // Decoupling detection from the lockstep schedule must not open a
+    // timing loophole: on a jittered transport every deviation from the
+    // catalogue still aborts the run.
+    let mut r = rng(2013);
+    let n = 6;
+    let cfg = config(n, 2, &mut r);
+    let truth = random_bids(&cfg, 1, &mut r);
+    let runner = DmwRunner::new(cfg).with_round_budget(200).with_patience(10);
+    let deviations = [
+        Behavior::CorruptShareTo { victim: 2 },
+        Behavior::TamperedCommitments,
+        Behavior::SelectiveShares { threshold: 3 },
+        Behavior::WithholdShares,
+        Behavior::WrongLambda,
+        Behavior::WrongDisclosure,
+        Behavior::WrongExcluded,
+        Behavior::InflatedPaymentClaim { delta: 3 },
+    ];
+    for profile in [
+        dmw_simnet::DelayProfile::fixed(1),
+        dmw_simnet::DelayProfile::jittered(0, 3, 77),
+    ] {
+        for behavior in deviations {
+            let mut behaviors = vec![Behavior::Suggested; n];
+            behaviors[1] = behavior;
+            let transport: dmw_simnet::DelayTransport<dmw::messages::Body> =
+                dmw_simnet::DelayTransport::new(n, profile);
+            let run = runner
+                .run_on(&truth, &behaviors, transport, &mut r)
+                .unwrap();
+            if matches!(behavior, Behavior::InflatedPaymentClaim { .. }) {
+                // Outvoted at settlement rather than aborted, exactly as
+                // on the lockstep transport.
+                let outcome = run.completed().unwrap();
+                assert!(!outcome.withheld[1], "honest majority outvotes the claim");
+            } else {
+                assert!(!run.is_completed(), "{behavior} must abort under delay");
+            }
+        }
+    }
+}
+
+#[test]
 fn silence_deviations_complete_when_tolerated() {
     let mut r = rng(2004);
     let n = 6;

@@ -39,10 +39,10 @@ fn every_message_of_a_real_run_round_trips_through_the_codec() {
         .collect();
     let mut net: dmw_simnet::Network<Body> = dmw_simnet::Network::new(5);
     let mut total_encoded = 0u64;
-    for round in 0..dmw::runner::PROTOCOL_ROUNDS {
+    for _round in 0..dmw::runner::PROTOCOL_ROUNDS {
         for (i, agent) in agents.iter_mut().enumerate() {
             let inbox = net.take_inbox(dmw_simnet::NodeId(i));
-            for (recipient, body) in agent.on_round(round, inbox) {
+            for (recipient, body) in agent.poll(inbox) {
                 let bytes = body.encode();
                 let decoded = Body::decode(&bytes, &encoding).expect("wire round trip");
                 assert_eq!(decoded, body);

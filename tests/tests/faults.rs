@@ -162,6 +162,66 @@ fn zero_fault_configuration_has_no_slack() {
 }
 
 #[test]
+fn crashes_before_bidding_are_tolerated_under_delay() {
+    // The crash-tolerance guarantee survives the move off lockstep: on a
+    // jittered transport the survivors still auction among themselves.
+    let mut r = rng(707);
+    let n = 7;
+    let cfg = config(n, 2, &mut r);
+    let bids = random_bids(&cfg, 2, &mut r);
+    let plan = FaultPlan::none(n)
+        .crash_at(NodeId(5), 0)
+        .crash_at(NodeId(6), 0);
+    let transport: dmw_simnet::DelayTransport<dmw::messages::Body> =
+        dmw_simnet::DelayTransport::with_faults(
+            n,
+            plan,
+            dmw_simnet::DelayProfile::jittered(0, 2, 9),
+        );
+    let run = DmwRunner::new(cfg)
+        .with_round_budget(200)
+        .with_patience(8)
+        .run_on(&bids, &vec![dmw::Behavior::Suggested; n], transport, &mut r)
+        .unwrap();
+    let outcome = run.completed().expect("two crashes within c = 2");
+    for dead in [5usize, 6] {
+        assert_eq!(outcome.payments[dead], 0, "crashed agent {dead} paid");
+        assert!(
+            outcome
+                .schedule
+                .tasks_of(dmw_mechanism::AgentId(dead))
+                .is_empty(),
+            "crashed agent {dead} won a task"
+        );
+    }
+}
+
+#[test]
+fn a_link_slower_than_the_patience_budget_reads_as_dropped() {
+    // A per-link delay schedule far beyond the patience budget is
+    // indistinguishable from a dropped link at the victim: the split
+    // participation view is caught by the mask comparison, never papered
+    // over.
+    let mut r = rng(708);
+    let n = 5;
+    let cfg = config(n, 1, &mut r);
+    let bids = random_bids(&cfg, 1, &mut r);
+    let plan = FaultPlan::none(n).delay_link(NodeId(0), NodeId(3), 50);
+    let transport: dmw_simnet::DelayTransport<dmw::messages::Body> =
+        dmw_simnet::DelayTransport::with_faults(n, plan, dmw_simnet::DelayProfile::synchronous());
+    let run = DmwRunner::new(cfg)
+        .with_round_budget(100)
+        .with_patience(4)
+        .run_on(&bids, &vec![dmw::Behavior::Suggested; n], transport, &mut r)
+        .unwrap();
+    assert!(!run.is_completed(), "the late share must not be waited for");
+    assert!(matches!(
+        run.abort_reason(),
+        Some(AbortReason::InconsistentMask { .. }) | Some(AbortReason::TooManyFaults { .. })
+    ));
+}
+
+#[test]
 fn dropped_links_are_detected_as_inconsistency() {
     // A dropped share link makes the victim exclude the sender while
     // everyone else includes it: the mask comparison catches the split

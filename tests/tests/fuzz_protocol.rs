@@ -7,9 +7,77 @@
 
 use dmw::runner::{utilities, DmwRunner};
 use dmw::Behavior;
-use dmw_simnet::{FaultPlan, NodeId};
+use dmw_simnet::{DelayProfile, DelayTransport, FaultPlan, NodeId};
 use integration_tests::{centralized_reference, config, random_bids, rng};
 use proptest::prelude::*;
+
+/// Runs one honest instance on the lockstep transport and again on a
+/// [`DelayTransport`] built from `profile` (optionally with per-recipient
+/// inbox shuffling), asserting the delayed run completes with exactly the
+/// lockstep schedule and payments. Both runs replay the same RNG stream,
+/// so the committed bids and polynomials are identical — only delivery
+/// timing differs.
+fn assert_delay_matches_lockstep(seed: u64, profile: DelayProfile, shuffle: Option<u64>) {
+    let n = 6;
+    let mut r = rng(seed);
+    let cfg = config(n, 1, &mut r);
+    let bids = random_bids(&cfg, 3, &mut r);
+    let runner = DmwRunner::new(cfg);
+
+    let mut lockstep_rng = rng(seed ^ 0xD1A7);
+    let lockstep = runner
+        .run_honest(&bids, &mut lockstep_rng)
+        .expect("lockstep run");
+    let reference = lockstep.completed().expect("honest lockstep completes");
+
+    // Patience must outlast the worst-case delivery spread: a peer may
+    // act up to `max_extra` ticks later than me, and its message may take
+    // `max_extra` extra ticks on top of the one-tick baseline.
+    let patience = 2 * profile.max_extra_delay() + 4;
+    let mut transport: DelayTransport<dmw::messages::Body> = DelayTransport::new(n, profile);
+    if let Some(s) = shuffle {
+        transport = transport.with_inbox_shuffle(s);
+    }
+    let mut delayed_rng = rng(seed ^ 0xD1A7);
+    let delayed = runner
+        .clone()
+        .with_round_budget(200)
+        .with_patience(patience)
+        .run_on(
+            &bids,
+            &vec![Behavior::Suggested; n],
+            transport,
+            &mut delayed_rng,
+        )
+        .expect("delayed run");
+    let outcome = delayed
+        .completed()
+        .unwrap_or_else(|e| panic!("honest delayed run must complete (seed {seed}): {e:?}"));
+    assert_eq!(outcome.schedule, reference.schedule, "seed {seed}");
+    assert_eq!(outcome.payments, reference.payments, "seed {seed}");
+    assert_eq!(outcome.first_prices, reference.first_prices, "seed {seed}");
+    assert_eq!(
+        outcome.second_prices, reference.second_prices,
+        "seed {seed}"
+    );
+}
+
+#[test]
+fn honest_runs_match_lockstep_across_delay_profiles_and_seeds() {
+    for seed in [101, 202, 303, 404] {
+        // Synchronous timing but adversarially shuffled inbox order.
+        assert_delay_matches_lockstep(seed, DelayProfile::synchronous(), Some(seed ^ 0x5));
+        // Uniform extra latency on every link.
+        assert_delay_matches_lockstep(seed, DelayProfile::fixed(2), None);
+        // Seeded per-message jitter, with and without shuffling.
+        assert_delay_matches_lockstep(seed, DelayProfile::jittered(1, 3, seed ^ 0x9), None);
+        assert_delay_matches_lockstep(
+            seed,
+            DelayProfile::jittered(0, 2, seed ^ 0x11),
+            Some(seed ^ 0x13),
+        );
+    }
+}
 
 /// The behavior catalogue as a proptest strategy (index into it).
 fn any_behavior(n: usize) -> impl Strategy<Value = Behavior> {
@@ -65,6 +133,19 @@ proptest! {
                 prop_assert_eq!(outcome.first_prices[j], min, "task {}", j);
             }
         }
+    }
+
+    #[test]
+    fn shuffled_inboxes_and_random_jitter_preserve_honest_outcomes(
+        seed in 0u64..100_000,
+        shuffle in 0u64..100_000,
+        jitter in 0u64..3,
+    ) {
+        assert_delay_matches_lockstep(
+            seed,
+            DelayProfile::jittered(0, jitter, seed ^ shuffle),
+            Some(shuffle),
+        );
     }
 
     #[test]
