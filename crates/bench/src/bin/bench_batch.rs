@@ -2,7 +2,8 @@
 //!
 //! Times the identical honest-trial batch at several thread counts,
 //! cross-checks bit-identity of the results, and emits the
-//! `dmw-bench-batch/v1` JSON baseline (see `docs/benchmarks.md`):
+//! `dmw-bench-batch/v2` JSON baseline — wall-clock timings plus a
+//! deterministic per-phase breakdown (see `docs/benchmarks.md`):
 //!
 //! ```text
 //! cargo run --release -p dmw-bench --bin bench_batch -- --out BENCH_batch.json

@@ -9,6 +9,10 @@
 //! `truthfulness`, `faithfulness`, `voluntary`, `privacy`, `approx`,
 //! `equivalence`, `false-positive`, `ablation-c`, `ablation-quantize`,
 //! `all`. An optional `--seed <u64>` changes the experiment seed.
+//! `--metrics <out.json>` writes the deterministic `dmw-obs` metrics
+//! snapshot merged across every selected experiment that collects one
+//! (currently `batch-engine`); the schema is documented in
+//! `docs/benchmarks.md`.
 
 use dmw_bench::experiments;
 use dmw_bench::table::Report;
@@ -44,7 +48,7 @@ const EXPERIMENTS: &[Experiment] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: reproduce <experiment|all> [--seed <u64>]");
+    eprintln!("usage: reproduce <experiment|all> [--seed <u64>] [--metrics <out.json>]");
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
         eprintln!("  {name}");
@@ -56,12 +60,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 20050717u64; // PODC 2005
     let mut command: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => {
                 let value = it.next().unwrap_or_else(|| usage());
                 seed = value.parse().unwrap_or_else(|_| usage());
+            }
+            "--metrics" => {
+                metrics_out = Some(it.next().unwrap_or_else(|| usage()));
             }
             "-h" | "--help" => usage(),
             name if command.is_none() => command = Some(name.to_string()),
@@ -79,11 +87,24 @@ fn main() {
         }
     };
 
+    let mut merged = dmw_obs::MetricsSnapshot::default();
     for (name, runner) in selected {
         eprintln!("running {name} (seed {seed}) ...");
         let started = std::time::Instant::now();
         let report = runner(seed);
         println!("{}", report.render());
+        if let Some(metrics) = &report.metrics {
+            merged.absorb(metrics);
+        }
         eprintln!("{name} finished in {:.1}s", started.elapsed().as_secs_f64());
+    }
+    if let Some(path) = metrics_out {
+        match std::fs::write(&path, merged.to_json(0)) {
+            Ok(()) => eprintln!("metrics snapshot written to {path}"),
+            Err(e) => {
+                eprintln!("reproduce: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -8,7 +8,10 @@
 //! sweep). [`measure`] times the *same* trial batch at several thread
 //! counts and cross-checks that every width produces bit-identical
 //! results; [`Baseline::to_json`] serializes the measurement into the
-//! `dmw-bench-batch/v1` schema documented in `docs/benchmarks.md`.
+//! `dmw-bench-batch/v2` schema documented in `docs/benchmarks.md` —
+//! v2 adds a per-phase breakdown (messages, bytes, dwell ticks)
+//! aggregated from the deterministic `dmw-obs` metrics every run
+//! carries.
 //!
 //! The [`run`] report (the `batch-engine` subcommand of `reproduce`)
 //! deliberately contains **no wall-clock numbers** so that
@@ -17,10 +20,12 @@
 
 use super::{config, random_bids, rng};
 use crate::table::Report;
-use dmw::batch::{BatchRunner, TrialSpec};
+use dmw::batch::{aggregate_metrics, BatchRunner, TrialSpec};
 use dmw::runner::{DmwRun, DmwRunner};
 use dmw::DmwError;
+use dmw_obs::MetricsSnapshot;
 use dmw_simnet::NetworkStats;
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// The workload shape of one baseline measurement.
@@ -69,6 +74,9 @@ pub struct Baseline {
     pub completed_trials: usize,
     /// Whole-batch traffic, aggregated over every trial.
     pub traffic: NetworkStats,
+    /// Deterministic `dmw-obs` metrics, aggregated over every trial —
+    /// the source of the schema-v2 per-phase breakdown.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Runs `trials` honest trials through [`BatchRunner`] at each requested
@@ -121,6 +129,7 @@ pub fn measure(seed: u64, workload: Workload, thread_counts: &[usize]) -> Baseli
         .iter()
         .filter_map(|r| r.as_ref().ok().map(|run| run.network))
         .sum();
+    let metrics = aggregate_metrics(&reference);
     Baseline {
         seed,
         workload,
@@ -129,27 +138,60 @@ pub fn measure(seed: u64, workload: Workload, thread_counts: &[usize]) -> Baseli
         bit_identical,
         completed_trials,
         traffic,
+        metrics,
     }
 }
 
 /// Full-artifact equality of two batch results: run results, traffic
-/// counters and message traces.
+/// counters, metrics snapshots and message traces.
 fn equal_outcomes(a: &[Result<DmwRun, DmwError>], b: &[Result<DmwRun, DmwError>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(x, y)| match (x, y) {
-            (Ok(x), Ok(y)) => x.result == y.result && x.network == y.network && x.trace == y.trace,
+            (Ok(x), Ok(y)) => {
+                x.result == y.result
+                    && x.network == y.network
+                    && x.trace == y.trace
+                    && x.metrics == y.metrics
+            }
             (Err(x), Err(y)) => x == y,
             _ => false,
         })
 }
 
+/// The per-phase rows of the schema-v2 breakdown: every phase that
+/// recorded messages, bytes or dwell ticks, in deterministic (sorted)
+/// phase-label order, with the three counters summed over all agents.
+fn phase_breakdown(metrics: &MetricsSnapshot) -> Vec<(&'static str, u64, u64, u64)> {
+    let messages = metrics.counter_by_phase("phase_messages");
+    let bytes = metrics.counter_by_phase("phase_bytes");
+    let dwell = metrics.counter_by_phase("phase_dwell_ticks");
+    let phases: BTreeSet<&'static str> = messages
+        .keys()
+        .chain(bytes.keys())
+        .chain(dwell.keys())
+        .copied()
+        .collect();
+    phases
+        .into_iter()
+        .map(|phase| {
+            (
+                phase,
+                messages.get(phase).copied().unwrap_or(0),
+                bytes.get(phase).copied().unwrap_or(0),
+                dwell.get(phase).copied().unwrap_or(0),
+            )
+        })
+        .collect()
+}
+
 impl Baseline {
-    /// Serializes to the `dmw-bench-batch/v1` JSON schema (see
-    /// `docs/benchmarks.md`).
+    /// Serializes to the `dmw-bench-batch/v2` JSON schema (see
+    /// `docs/benchmarks.md`): v1 plus a `phases` object breaking the
+    /// aggregate traffic down per protocol phase.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"dmw-bench-batch/v1\",\n");
+        out.push_str("  \"schema\": \"dmw-bench-batch/v2\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str("  \"workload\": {\n");
         out.push_str("    \"experiment\": \"honest-trial-sweep\",\n");
@@ -189,6 +231,18 @@ impl Baseline {
         ));
         out.push_str(&format!("    \"bytes\": {}\n", self.traffic.bytes));
         out.push_str("  },\n");
+        out.push_str("  \"phases\": {\n");
+        let phase_rows: Vec<String> = phase_breakdown(&self.metrics)
+            .into_iter()
+            .map(|(phase, messages, bytes, dwell)| {
+                format!(
+                    "    \"{phase}\": {{ \"messages\": {messages}, \"bytes\": {bytes}, \
+                     \"dwell_ticks\": {dwell} }}"
+                )
+            })
+            .collect();
+        out.push_str(&phase_rows.join(",\n"));
+        out.push_str("\n  },\n");
         out.push_str(&format!(
             "  \"bit_identical_across_thread_counts\": {}\n",
             self.bit_identical
@@ -244,6 +298,23 @@ pub fn run(seed: u64) -> Report {
         ],
         rows,
     );
+    let phase_rows: Vec<Vec<String>> = phase_breakdown(&baseline.metrics)
+        .into_iter()
+        .map(|(phase, messages, bytes, dwell)| {
+            vec![
+                phase.to_string(),
+                messages.to_string(),
+                bytes.to_string(),
+                dwell.to_string(),
+            ]
+        })
+        .collect();
+    report.table(
+        "per-phase breakdown, aggregated over the whole batch (dmw-obs)",
+        &["phase", "messages", "bytes", "dwell ticks"],
+        phase_rows,
+    );
+    report.attach_metrics(baseline.metrics);
     report
 }
 
@@ -265,10 +336,11 @@ mod tests {
         assert_eq!(baseline.runs.len(), 3);
         assert!((baseline.runs[0].speedup_vs_sequential - 1.0).abs() < 1e-9);
         assert!(baseline.traffic.point_to_point > 0);
+        assert!(baseline.metrics.counter_total("phase_messages") > 0);
     }
 
     #[test]
-    fn json_has_the_v1_shape() {
+    fn json_has_the_v2_shape() {
         let workload = Workload {
             agents: 4,
             faults: 0,
@@ -277,15 +349,42 @@ mod tests {
         };
         let json = measure(6, workload, &[1, 2]).to_json();
         for needle in [
-            "\"schema\": \"dmw-bench-batch/v1\"",
+            "\"schema\": \"dmw-bench-batch/v2\"",
             "\"trials\": 3",
             "\"threads\": 2",
             "\"speedup_vs_sequential\"",
             "\"bit_identical_across_thread_counts\": true",
             "\"available_parallelism\"",
+            "\"phases\": {",
+            "\"bidding\": { \"messages\": ",
+            "\"dwell_ticks\": ",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn phase_breakdown_covers_every_protocol_phase_with_consistent_totals() {
+        let workload = Workload {
+            agents: 4,
+            faults: 0,
+            tasks: 2,
+            trials: 4,
+        };
+        let baseline = measure(11, workload, &[1]);
+        let breakdown = phase_breakdown(&baseline.metrics);
+        assert!(!breakdown.is_empty());
+        let message_sum: u64 = breakdown.iter().map(|(_, m, _, _)| m).sum();
+        let byte_sum: u64 = breakdown.iter().map(|(_, _, b, _)| b).sum();
+        assert_eq!(
+            message_sum,
+            baseline.metrics.counter_total("phase_messages")
+        );
+        assert_eq!(byte_sum, baseline.metrics.counter_total("phase_bytes"));
+        // An honest run walks every phase, so the bidding fan-out and the
+        // final claimed phase both appear.
+        let phases: Vec<&str> = breakdown.iter().map(|(p, _, _, _)| *p).collect();
+        assert!(phases.contains(&"bidding"), "phases were {phases:?}");
     }
 
     #[test]
@@ -294,5 +393,7 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("bit-identical"));
         assert!(rendered.contains("yes"));
+        assert!(rendered.contains("per-phase breakdown"));
+        assert!(report.metrics.is_some());
     }
 }

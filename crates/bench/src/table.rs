@@ -1,5 +1,7 @@
 //! Markdown-ish table rendering shared by every experiment.
 
+use dmw_obs::MetricsSnapshot;
+
 /// A rendered experiment: a title, explanatory notes, and one or more
 /// tables.
 #[derive(Debug, Clone, Default)]
@@ -10,6 +12,11 @@ pub struct Report {
     pub notes: Vec<String>,
     /// Tables: `(caption, header, rows)`.
     pub tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+    /// Deterministic metrics aggregated over the experiment's runs, when
+    /// the experiment collects them. `reproduce --metrics <out.json>`
+    /// merges these across every selected experiment; rendering ignores
+    /// them so report text stays unchanged.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl Report {
@@ -24,6 +31,11 @@ impl Report {
     /// Adds a note line.
     pub fn note(&mut self, line: impl Into<String>) {
         self.notes.push(line.into());
+    }
+
+    /// Attaches the experiment's aggregated metrics snapshot.
+    pub fn attach_metrics(&mut self, metrics: MetricsSnapshot) {
+        self.metrics = Some(metrics);
     }
 
     /// Adds a table.

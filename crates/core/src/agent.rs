@@ -41,6 +41,7 @@ use crate::strategy::{Behavior, VerificationPolicy};
 use dmw_crypto::polynomials::{BidPolynomials, ShareBundle};
 use dmw_crypto::resolution::LambdaPsi;
 use dmw_crypto::Commitments;
+use dmw_obs::{Key, MetricsSink, MetricsSnapshot};
 use dmw_simnet::{Delivered, Recipient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -171,6 +172,10 @@ pub struct DmwAgent {
     pub(crate) patience: u64,
     /// Label of the phase that most recently acted (trace annotation).
     pub(crate) acted_phase: &'static str,
+    /// Per-agent protocol metrics: phase dwell ticks, patience
+    /// expirations, share verifications, abort detection/propagation.
+    /// Purely logical-tick-driven, so snapshots are bit-replayable.
+    pub(crate) metrics: MetricsSnapshot,
 }
 
 impl DmwAgent {
@@ -234,6 +239,7 @@ impl DmwAgent {
             ticks_in_phase: 0,
             patience: 1,
             acted_phase: Phase::Bidding.label(),
+            metrics: MetricsSnapshot::default(),
         }
     }
 
@@ -312,6 +318,18 @@ impl DmwAgent {
         self.behavior
     }
 
+    /// The per-agent protocol metrics accumulated so far: per-phase
+    /// `phase_dwell_ticks`, `patience_expired`, `shares_verified`,
+    /// `abort_detected` and `abort_propagated`.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
+
+    /// My index as a metric label.
+    pub(crate) fn metric_agent(&self) -> u32 {
+        self.me as u32
+    }
+
     pub(crate) fn n(&self) -> usize {
         self.config.agents()
     }
@@ -322,6 +340,10 @@ impl DmwAgent {
 
     pub(crate) fn abort(&mut self, reason: AbortReason, out: &mut Vec<(Recipient, Body)>) {
         self.status = AgentStatus::Aborted(reason);
+        let key = Key::named("abort_detected")
+            .phase(self.phase.label())
+            .agent(self.metric_agent());
+        self.metrics.incr(key, 1);
         out.push((Recipient::Broadcast, Body::Abort { reason }));
     }
 
@@ -390,6 +412,8 @@ impl DmwAgent {
                 if let Body::Abort { .. } = msg.payload {
                     self.status =
                         AgentStatus::Aborted(AbortReason::PeerAborted { peer: msg.from.0 });
+                    let key = Key::named("abort_propagated").agent(self.metric_agent());
+                    self.metrics.incr(key, 1);
                     return false;
                 }
             }
@@ -458,8 +482,21 @@ impl DmwAgent {
             return out;
         }
         self.ticks_in_phase += 1;
-        if phases::ready(self) || self.ticks_in_phase >= self.patience {
+        let ready = phases::ready(self);
+        if ready || self.ticks_in_phase >= self.patience {
             self.acted_phase = self.phase.label();
+            let dwell = Key::named("phase_dwell_ticks")
+                .phase(self.acted_phase)
+                .agent(self.metric_agent());
+            self.metrics.incr(dwell, self.ticks_in_phase);
+            if !ready {
+                // Acting because the budget ran out, not because the
+                // phase's expected messages were complete.
+                let expired = Key::named("patience_expired")
+                    .phase(self.acted_phase)
+                    .agent(self.metric_agent());
+                self.metrics.incr(expired, 1);
+            }
             phases::act(self, &mut out);
             self.phase = self.phase.next();
             self.ticks_in_phase = 0;

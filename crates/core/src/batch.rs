@@ -56,10 +56,22 @@ use crate::error::DmwError;
 use crate::runner::{DmwRun, DmwRunner};
 use crate::strategy::Behavior;
 use dmw_mechanism::ExecutionTimes;
+use dmw_obs::MetricsSnapshot;
 use dmw_simnet::FaultPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+
+/// Folds the metrics snapshots of every successful run in a batch into
+/// one aggregate (counters add, gauges max, histogram buckets add) —
+/// the whole-sweep analogue of summing [`dmw_simnet::NetworkStats`].
+/// Trials that failed validation contribute nothing.
+pub fn aggregate_metrics(runs: &[Result<DmwRun, DmwError>]) -> MetricsSnapshot {
+    runs.iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|run| &run.metrics)
+        .sum()
+}
 
 /// One trial submitted to [`BatchRunner::run_trials`]: a bid matrix plus
 /// optional per-agent behaviors and an optional network fault plan.
@@ -248,8 +260,14 @@ mod tests {
             let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
             assert_eq!(s.result, p.result);
             assert_eq!(s.network, p.network);
+            assert_eq!(s.metrics, p.metrics);
             assert_eq!(s.trace, p.trace);
         }
+        assert_eq!(
+            aggregate_metrics(&sequential),
+            aggregate_metrics(&parallel),
+            "aggregate snapshots are thread-count invariant too"
+        );
     }
 
     #[test]

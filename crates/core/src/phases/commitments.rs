@@ -7,6 +7,7 @@ use crate::messages::Body;
 use crate::strategy::Behavior;
 use dmw_crypto::commitments::verify_shares_batch;
 use dmw_crypto::resolution::compute_lambda_psi;
+use dmw_obs::{Key, MetricsSink};
 use dmw_simnet::Recipient;
 
 // dmw-lint: allow-file(L1-index): agent/task indices are validated at
@@ -58,7 +59,7 @@ pub(crate) fn act(agent: &mut DmwAgent, out: &mut Vec<(Recipient, Body)>) {
     // width-invariant.
     let group = *agent.config.group();
     let my_alpha = agent.config.pseudonym(agent.me);
-    let bad_sender = {
+    let (bad_sender, submitted) = {
         let mut items = Vec::new();
         let mut senders = Vec::new();
         for task in 0..agent.m() {
@@ -74,14 +75,18 @@ pub(crate) fn act(agent: &mut DmwAgent, out: &mut Vec<(Recipient, Body)>) {
                 senders.push(l);
             }
         }
-        verify_shares_batch(&group, my_alpha, &items, agent.verify_width)
+        let submitted = items.len() as u64;
+        let bad = verify_shares_batch(&group, my_alpha, &items, agent.verify_width)
             .err()
             .map(|failure| {
                 *senders
                     .get(failure.index)
                     .invariant("batch failure indexes a submitted item")
-            })
+            });
+        (bad, submitted)
     };
+    let verified = Key::named("shares_verified").agent(agent.metric_agent());
+    agent.metrics.incr(verified, submitted);
     if let Some(sender) = bad_sender {
         agent.abort(AbortReason::InvalidShares { sender }, out);
         return;

@@ -26,8 +26,9 @@ use crate::payment::settle;
 use crate::strategy::{Behavior, VerificationPolicy};
 use crate::trace::TraceEvent;
 use dmw_mechanism::{AgentId, ExecutionTimes, Schedule};
+use dmw_obs::{Key, MetricsSink, MetricsSnapshot};
 use dmw_simnet::{
-    coalesce, FaultPlan, LockstepTransport, NetworkStats, NodeId, Recipient, Transport,
+    coalesce, FaultPlan, LockstepTransport, NetworkStats, NodeId, Payload, Recipient, Transport,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,13 @@ pub struct DmwRun {
     /// Network traffic counters (feeds the Table 1 communication
     /// experiment).
     pub network: NetworkStats,
+    /// The deterministic metrics snapshot: transport-level per-link
+    /// traffic, delay histogram and drop causes, the scheduler's
+    /// per-phase message/byte counts, and every agent's protocol
+    /// metrics (dwell ticks, patience expirations, verifications,
+    /// aborts). Bit-identical for identical seeds, whatever the thread
+    /// count or (timing-equivalent) transport.
+    pub metrics: MetricsSnapshot,
     /// The full message trace (feeds the Fig. 2 reproduction).
     pub trace: Vec<TraceEvent>,
 }
@@ -312,6 +320,10 @@ impl DmwRunner {
             })
             .collect();
         let mut trace = Vec::new();
+        // The scheduler's own series: per-phase message and byte counts,
+        // attributed at send time (the only place phase, sender and
+        // recipient multiplicity are all known).
+        let mut sched_metrics = MetricsSnapshot::default();
 
         let mut round: u64 = 0;
         loop {
@@ -333,6 +345,22 @@ impl DmwRunner {
                         body.kind(),
                         body.task(),
                     ));
+                    // Broadcasts are n − 1 transmissions, per the
+                    // paper's cost model and the transport's own
+                    // accounting.
+                    let copies = match recipient {
+                        Recipient::Unicast(_) => 1,
+                        Recipient::Broadcast => (n - 1) as u64,
+                    };
+                    let mut messages = Key::named("phase_messages").phase(phase).agent(i as u32);
+                    if let Some(task) = body.task() {
+                        messages = messages.task(task as u32);
+                    }
+                    sched_metrics.incr(messages, copies);
+                    sched_metrics.incr(
+                        Key::named("phase_bytes").phase(phase).agent(i as u32),
+                        copies * body.size_bytes() as u64,
+                    );
                     match recipient {
                         Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
                         Recipient::Broadcast => transport.broadcast(NodeId(i), body),
@@ -348,6 +376,18 @@ impl DmwRunner {
                 break;
             }
         }
+
+        // One post-run assembly serves every return path below: the
+        // transport's per-link/drop/delay series, the scheduler's
+        // per-phase traffic, and each agent's protocol metrics merge
+        // into a single snapshot; the run length lands as a gauge.
+        let network = *transport.stats();
+        let mut metrics = transport.metrics().clone();
+        metrics.absorb(&sched_metrics);
+        for agent in &agents {
+            metrics.absorb(agent.metrics());
+        }
+        metrics.gauge_max(Key::named("run_ticks"), round);
 
         // Any abort (own detection or peer notification) fails the run.
         let mut detectors = Vec::new();
@@ -373,7 +413,8 @@ impl DmwRunner {
         if let Some(reason) = reason {
             return Ok(DmwRun {
                 result: RunResult::Aborted { reason, detectors },
-                network: *transport.stats(),
+                network,
+                metrics,
                 trace,
             });
         }
@@ -386,18 +427,19 @@ impl DmwRunner {
             .filter(|(a, &is_crashed)| !is_crashed && matches!(a.status(), AgentStatus::Done))
             .map(|(a, _)| a)
             .collect();
-        let unresolvable = |trace: Vec<TraceEvent>, stats| {
+        let unresolvable = |trace: Vec<TraceEvent>, metrics: MetricsSnapshot| {
             Ok(DmwRun {
                 result: RunResult::Aborted {
                     reason: AbortReason::Unresolvable,
                     detectors: vec![],
                 },
-                network: stats,
+                network,
+                metrics,
                 trace,
             })
         };
         let Some(reference) = done.first() else {
-            return unresolvable(trace, *transport.stats());
+            return unresolvable(trace, metrics);
         };
         let mut assignment = Vec::with_capacity(m);
         let mut first_prices = Vec::with_capacity(m);
@@ -411,7 +453,7 @@ impl DmwRunner {
                 reference.first_price_of(task),
                 reference.second_price_of(task),
             ) else {
-                return unresolvable(trace, *transport.stats());
+                return unresolvable(trace, metrics);
             };
             for other in &done {
                 if other.behavior().is_suggested() {
@@ -434,7 +476,7 @@ impl DmwRunner {
             .filter_map(|a| a.claim().map(<[u64]>::to_vec))
             .collect();
         let Some(settlement) = settle(&claims) else {
-            return unresolvable(trace, *transport.stats());
+            return unresolvable(trace, metrics);
         };
 
         Ok(DmwRun {
@@ -445,7 +487,8 @@ impl DmwRunner {
                 first_prices,
                 second_prices,
             }),
-            network: *transport.stats(),
+            network,
+            metrics,
             trace,
         })
     }

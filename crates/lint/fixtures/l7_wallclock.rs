@@ -1,0 +1,10 @@
+// Fixture: every L7 shape. Never compiled; scanned by tests/fixtures.rs
+// under a deterministic-crate path (L7 scopes to crates/{core,simnet,
+// crypto,obs}/src/). `SystemTime` also trips L4, which applies
+// everywhere; `Instant` is L7's own catch.
+
+fn wall_clock_reads() -> u64 {
+    let started = std::time::Instant::now();
+    let epoch = SystemTime::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -16,7 +16,7 @@
 //!
 //! Directive misuse is itself reported as findings under the `allowlist`
 //! rule: unknown rule keys, `allow`s that suppress nothing, missing
-//! justifications, any attempt to allow `L2`/`L3`/`L6` (which are
+//! justifications, any attempt to allow `L2`/`L3`/`L6`/`L7` (which are
 //! unconditional), and malformed `dmw-lint:` comments.
 
 use crate::lexer::Comment;
@@ -26,7 +26,7 @@ use crate::rules::Finding;
 const ALLOWED_KEYS: &[&str] = &["L1", "L1-index", "L4", "L5"];
 
 /// Rule keys that exist but must never be allowlisted.
-const UNWAIVABLE_KEYS: &[&str] = &["L2", "L3", "L6"];
+const UNWAIVABLE_KEYS: &[&str] = &["L2", "L3", "L6", "L7"];
 
 /// Keys `allow-file(...)` may name.
 const FILE_SCOPE_KEYS: &[&str] = &["L1-index"];
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn l2_and_l3_cannot_be_allowed() {
-        for key in ["L2", "L3", "L6"] {
+        for key in ["L2", "L3", "L6", "L7"] {
             let src = format!("// dmw-lint: allow({key}): please\nlet x = a % b;");
             let out = check(&src, vec![]);
             assert!(

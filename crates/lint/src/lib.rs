@@ -4,8 +4,9 @@
 //! that the type system cannot express: no panic paths in protocol
 //! dispatch, no raw machine arithmetic on field residues, no wildcard
 //! dispatch over protocol enums, no ambient entropy, no truncating casts
-//! in the arithmetic core. This crate enforces them lexically: a small
-//! Rust lexer ([`lexer`]), six token-pattern rules ([`rules`]) scoped to
+//! in the arithmetic core, no wall-clock reads in the deterministic
+//! crates. This crate enforces them lexically: a small Rust lexer
+//! ([`lexer`]), seven token-pattern rules ([`rules`]) scoped to
 //! the modules where they are unambiguous, and a justified-allowlist
 //! escape hatch ([`allow`]). See `docs/static_analysis.md` for the rule
 //! catalogue and rationale.
@@ -76,6 +77,21 @@ fn rules_for_path(path: &str) -> Vec<Rule> {
     // about round numbers; the agent and its phases must not.
     if in_phases || path == "crates/core/src/agent.rs" {
         out.push(rules::l6);
+    }
+    // The deterministic crates: protocol, simulated network, crypto and
+    // the metrics core all time themselves in logical ticks, so any
+    // wall-clock read there breaks replay. The bench harness is
+    // deliberately outside this scope — timing is its whole job.
+    let in_deterministic = [
+        "crates/core/src/",
+        "crates/simnet/src/",
+        "crates/crypto/src/",
+        "crates/obs/src/",
+    ]
+    .iter()
+    .any(|prefix| path.starts_with(prefix));
+    if in_deterministic {
+        out.push(rules::l7);
     }
     out
 }

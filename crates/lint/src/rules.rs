@@ -1,4 +1,4 @@
-//! The six protocol-invariant rules (L1–L6).
+//! The seven protocol-invariant rules (L1–L7).
 //!
 //! Each rule is a pure function over the token stream of one file (test
 //! modules already stripped) and reports [`Finding`]s with 1-based lines.
@@ -13,7 +13,7 @@ use crate::lexer::{Token, TokenKind};
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`L1` … `L6`, or `allowlist` for directive misuse).
+    /// Rule identifier (`L1` … `L7`, or `allowlist` for directive misuse).
     pub rule: &'static str,
     /// Key an allow directive must name to suppress this finding (`L1`
     /// findings for slice indexing use the narrower `L1-index`).
@@ -509,6 +509,41 @@ pub fn l6(tokens: &[Token]) -> Vec<Finding> {
     out
 }
 
+/// L7 — no wall-clock reads in the deterministic crates (`core`,
+/// `simnet`, `crypto`, `obs`): simulated time is logical ticks, so any
+/// `std::time::Instant` or `SystemTime` read there makes runs (and the
+/// `dmw-obs` metrics derived from them) non-replayable. Timing belongs
+/// to the bench harness, which is deliberately outside this scope.
+/// Unwaivable — move the measurement out of the deterministic core.
+pub fn l7(tokens: &[Token]) -> Vec<Finding> {
+    const BANNED: &[(&str, &str)] = &[
+        (
+            "Instant",
+            "measure in logical ticks (the transport round counter) or \
+             move the timing into the bench harness",
+        ),
+        (
+            "SystemTime",
+            "pass timestamps in as data; wall-clock reads break replay",
+        ),
+    ];
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((name, hint)) = BANNED.iter().find(|(n, _)| *n == t.text) {
+            out.push(finding(
+                "L7",
+                "L7",
+                t.line,
+                format!("wall-clock `{name}` in a deterministic crate — {hint}"),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +632,14 @@ mod tests {
         assert_eq!(run(l6, "if round == 2 { act(); }").len(), 1);
         assert_eq!(run(l6, "if 3 == round { act(); }").len(), 1);
         assert_eq!(run(l6, "while round < 6 { tick(); }").len(), 1);
+    }
+
+    #[test]
+    fn l7_catches_wall_clock_idents_but_not_strings() {
+        assert_eq!(run(l7, "let t = Instant::now();").len(), 1);
+        assert_eq!(run(l7, "let t = std::time::SystemTime::now();").len(), 1);
+        assert!(run(l7, "let s = \"Instant\"; // Instant").is_empty());
+        assert!(run(l7, "let instant = elapsed_ticks();").is_empty());
     }
 
     #[test]

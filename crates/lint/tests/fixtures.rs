@@ -58,14 +58,67 @@ fn l3_fixture_catches_wildcard_arm() {
 
 #[test]
 fn l4_fixture_catches_ambient_entropy() {
+    // In a deterministic crate the `SystemTime` read trips L7 as well
+    // (overlapping coverage is deliberate: L4 is waivable, L7 is not).
     let findings = lint_fixture(
         "crates/simnet/src/fixture.rs",
         include_str!("../fixtures/l4_entropy.rs"),
     );
     assert_eq!(
         rules_of(&findings),
+        vec!["L4", "L4", "L4", "L7"],
+        "thread_rng + from_entropy + SystemTime (+L7 overlap): {findings:?}"
+    );
+    // Outside the deterministic crates only L4 applies.
+    let findings = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/l4_entropy.rs"),
+    );
+    assert_eq!(
+        rules_of(&findings),
         vec!["L4"; 3],
         "thread_rng + from_entropy + SystemTime: {findings:?}"
+    );
+}
+
+#[test]
+fn l7_fixture_catches_wall_clock_in_deterministic_crates_only() {
+    let source = include_str!("../fixtures/l7_wallclock.rs");
+    for path in [
+        "crates/core/src/fixture.rs",
+        "crates/simnet/src/fixture.rs",
+        "crates/crypto/src/fixture.rs",
+        "crates/obs/src/fixture.rs",
+    ] {
+        let findings = lint_fixture(path, source);
+        assert_eq!(
+            findings.iter().filter(|f| f.rule == "L7").count(),
+            2,
+            "{path}: Instant + SystemTime: {findings:?}"
+        );
+    }
+    // The bench harness times wall clock by design: no L7 there (the
+    // fixture's `SystemTime` still trips the everywhere-scoped L4).
+    let findings = lint_fixture("crates/bench/src/fixture.rs", source);
+    assert!(
+        findings.iter().all(|f| f.rule != "L7"),
+        "L7 must not police the bench harness: {findings:?}"
+    );
+}
+
+#[test]
+fn l7_allows_are_rejected_even_with_justification() {
+    let source = "// dmw-lint: allow(L7): very good reason\nlet t = Instant::now();\n";
+    let findings = lint_fixture("crates/obs/src/fixture.rs", source);
+    assert!(
+        findings.iter().any(|f| f.rule == "L7"),
+        "the violation survives: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "allowlist" && f.message.contains("cannot be allowlisted")),
+        "{findings:?}"
     );
 }
 

@@ -14,9 +14,10 @@
 //! arrival order *within* a tick.
 
 use crate::faults::FaultPlan;
-use crate::network::{Delivered, NodeId, Payload};
+use crate::network::{classify_loss, record_drop, record_enqueue, Delivered, NodeId, Payload};
 use crate::stats::NetworkStats;
 use crate::transport::Transport;
+use dmw_obs::MetricsSnapshot;
 use std::collections::VecDeque;
 
 /// SplitMix64: the classic 64-bit finalizer-based generator. Self-contained
@@ -80,6 +81,12 @@ impl DelayProfile {
 struct Held<M> {
     due: u64,
     sent_round: u64,
+    /// Enqueue-order sequence number (1-based). The periodic-drop
+    /// schedule is evaluated against this, not against delivery order,
+    /// so a [`FaultPlan`] selects the same logical messages regardless
+    /// of jitter — exactly the numbering the lockstep transport's
+    /// in-order delivery produces.
+    seq: u64,
     from: NodeId,
     to: NodeId,
     broadcast: bool,
@@ -102,8 +109,8 @@ pub struct DelayTransport<M> {
     holding: Vec<Held<M>>,
     inboxes: Vec<VecDeque<Delivered<M>>>,
     stats: NetworkStats,
+    metrics: MetricsSnapshot,
     faults: FaultPlan,
-    transmissions: u64,
     profile: DelayProfile,
     shuffle_seed: Option<u64>,
     seq: u64,
@@ -133,8 +140,8 @@ impl<M: Payload + Clone> DelayTransport<M> {
             holding: Vec::new(),
             inboxes: (0..n).map(|_| VecDeque::new()).collect(),
             stats: NetworkStats::default(),
+            metrics: MetricsSnapshot::default(),
             faults,
-            transmissions: 0,
             profile,
             shuffle_seed: None,
             seq: 0,
@@ -159,9 +166,17 @@ impl<M: Payload + Clone> DelayTransport<M> {
         self.stats.bytes += payload.size_bytes() as u64;
         self.seq += 1;
         let delay = self.profile.draw(self.seq) + self.faults.link_delay(from, to);
+        record_enqueue(
+            &mut self.metrics,
+            from,
+            to,
+            payload.size_bytes() as u64,
+            1 + delay,
+        );
         self.holding.push(Held {
             due: self.round + 1 + delay,
             sent_round: self.round,
+            seq: self.seq,
             from,
             to,
             broadcast,
@@ -211,13 +226,16 @@ impl<M: Payload + Clone> DelayTransport<M> {
         }
         let mut delivered = 0;
         for msg in arrivals {
-            self.transmissions += 1;
-            let lost = self.faults.is_crashed(msg.from, msg.sent_round)
-                || self.faults.is_crashed(msg.to, msg.due.saturating_sub(1))
-                || self.faults.is_link_dropped(msg.from, msg.to)
-                || self.faults.is_periodically_dropped(self.transmissions);
-            if lost {
+            if let Some(cause) = classify_loss(
+                &self.faults,
+                msg.from,
+                msg.to,
+                msg.sent_round,
+                msg.due.saturating_sub(1),
+                msg.seq,
+            ) {
                 self.stats.dropped += 1;
+                record_drop(&mut self.metrics, cause);
                 continue;
             }
             self.inboxes[msg.to.0].push_back(Delivered {
@@ -271,6 +289,13 @@ impl<M: Payload + Clone> DelayTransport<M> {
         &self.stats
     }
 
+    /// The transport-level metrics: per-link `link_messages` /
+    /// `link_bytes`, the `delay_ticks` histogram of drawn delivery
+    /// latencies (observed at enqueue) and per-cause `drop_*` counters.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
+
     /// The fault schedule.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
@@ -319,6 +344,10 @@ impl<M: Payload + Clone> Transport<M> for DelayTransport<M> {
 
     fn stats(&self) -> &NetworkStats {
         DelayTransport::stats(self)
+    }
+
+    fn metrics(&self) -> &MetricsSnapshot {
+        DelayTransport::metrics(self)
     }
 
     fn faults(&self) -> &FaultPlan {
@@ -441,6 +470,140 @@ mod tests {
         let mut sorted2 = mix2.clone();
         sorted2.sort_unstable();
         assert_eq!(sorted2, (100..108).collect::<Vec<u64>>());
+    }
+
+    /// Regression test for the periodic-drop drift bug: the drop
+    /// schedule used to advance per *delivered* message inside
+    /// [`DelayTransport::step`], so jitter (which permutes delivery
+    /// order relative to enqueue order) made the same [`FaultPlan`]
+    /// drop different logical messages than the lockstep transport.
+    /// Pinning the schedule to the enqueue-time sequence number makes
+    /// the selected set transport-invariant.
+    #[test]
+    fn periodic_drops_select_the_same_messages_as_lockstep_under_jitter() {
+        use crate::network::Network;
+
+        let n = 4;
+        let ticks = 4u64;
+        let surviving = |net: &mut dyn FnMut(NodeId, NodeId, u64)| {
+            // Same traffic pattern on every transport: each tick, every
+            // ordered pair exchanges one uniquely-numbered message.
+            let mut payload = 0;
+            for _ in 0..ticks {
+                for from in 0..n {
+                    for to in 0..n {
+                        if from != to {
+                            net(NodeId(from), NodeId(to), payload);
+                            payload += 1;
+                        }
+                    }
+                }
+            }
+        };
+
+        let mut lockstep: Network<u64> = Network::with_faults(n, FaultPlan::none(n).drop_every(3));
+        {
+            let mut sends = 0;
+            let mut send = |from, to, p| {
+                // Re-create the per-tick cadence: step after each tick's
+                // batch of n·(n−1) sends.
+                lockstep.send(from, to, p);
+                sends += 1;
+                if sends % (n * (n - 1)) == 0 {
+                    lockstep.step();
+                }
+            };
+            surviving(&mut send);
+        }
+        let mut lockstep_delivered: Vec<u64> = (0..n)
+            .flat_map(|node| lockstep.take_inbox(NodeId(node)))
+            .map(|d| d.payload)
+            .collect();
+        lockstep_delivered.sort_unstable();
+
+        let mut delayed: DelayTransport<u64> = DelayTransport::with_faults(
+            n,
+            FaultPlan::none(n).drop_every(3),
+            DelayProfile::jittered(0, 3, 0xBEEF),
+        );
+        {
+            let mut sends = 0;
+            let mut send = |from, to, p| {
+                delayed.send(from, to, p);
+                sends += 1;
+                if sends % (n * (n - 1)) == 0 {
+                    delayed.step();
+                }
+            };
+            surviving(&mut send);
+        }
+        let mut jitter_delivered: Vec<u64> = Vec::new();
+        loop {
+            for node in 0..n {
+                for msg in delayed.take_inbox(NodeId(node)) {
+                    jitter_delivered.push(msg.payload);
+                }
+            }
+            if delayed.is_quiescent() {
+                break;
+            }
+            delayed.step();
+        }
+        jitter_delivered.sort_unstable();
+
+        assert_eq!(
+            jitter_delivered, lockstep_delivered,
+            "a fault plan must drop the same logical messages on every transport"
+        );
+        assert_eq!(delayed.stats().dropped, lockstep.stats().dropped);
+    }
+
+    /// The delayed-crash path can end a run with traffic still held:
+    /// `in_flight` must report it rather than underflow.
+    #[test]
+    fn in_flight_counts_messages_still_held_at_run_end() {
+        let plan = FaultPlan::none(3).crash_at(NodeId(1), 2);
+        let mut net: DelayTransport<u64> =
+            DelayTransport::with_faults(3, plan, DelayProfile::fixed(4));
+        net.send(NodeId(0), NodeId(1), 1);
+        net.send(NodeId(2), NodeId(1), 2);
+        net.send(NodeId(0), NodeId(2), 3);
+        net.step();
+        net.step();
+        // "Run end": every message is still in `holding` (due tick 5).
+        assert!(!net.is_quiescent());
+        assert_eq!(net.stats().delivered, 0);
+        assert_eq!(net.stats().dropped, 0);
+        assert_eq!(net.stats().in_flight(), 3);
+    }
+
+    #[test]
+    fn metrics_record_links_delays_and_drop_causes() {
+        use dmw_obs::Key;
+
+        let plan = FaultPlan::none(3)
+            .crash_at(NodeId(1), 0)
+            .drop_link(NodeId(0), NodeId(2));
+        let mut net: DelayTransport<u64> =
+            DelayTransport::with_faults(3, plan, DelayProfile::fixed(1));
+        net.send(NodeId(0), NodeId(1), 1); // recipient crashed
+        net.send(NodeId(1), NodeId(2), 2); // sender crashed
+        net.send(NodeId(0), NodeId(2), 3); // dropped link
+        net.send(NodeId(2), NodeId(0), 4); // delivered
+        net.step();
+        net.step();
+        let m = net.metrics();
+        assert_eq!(m.counter(&Key::named("link_messages").agent(0).peer(1)), 1);
+        assert_eq!(m.counter(&Key::named("link_bytes").agent(2).peer(0)), 8);
+        assert_eq!(m.counter_total("link_messages"), 4);
+        assert_eq!(m.counter(&Key::named("drop_sender_crashed")), 1);
+        assert_eq!(m.counter(&Key::named("drop_recipient_crashed")), 1);
+        assert_eq!(m.counter(&Key::named("drop_link")), 1);
+        assert_eq!(m.counter(&Key::named("drop_periodic")), 0);
+        let h = m.histogram(&Key::named("delay_ticks")).expect("series");
+        assert_eq!(h.total(), 4, "every enqueue observes its drawn latency");
+        // fixed(1): all four messages drew a 2-tick delivery latency.
+        assert_eq!(h.counts.get(1), Some(&4));
     }
 
     #[test]

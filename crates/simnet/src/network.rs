@@ -3,6 +3,7 @@
 use crate::faults::FaultPlan;
 use crate::stats::NetworkStats;
 use crate::transport::Transport;
+use dmw_obs::{Key, MetricsSink, MetricsSnapshot, DELAY_TICK_BUCKETS};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -66,6 +67,90 @@ struct InFlight<M> {
     payload: M,
 }
 
+/// Why a transmission was lost at delivery time. Variant order mirrors
+/// the checking precedence shared by both transports (sender crash
+/// before recipient crash before link drop before periodic drop), so
+/// per-cause metrics attribute each loss identically regardless of the
+/// timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DropCause {
+    /// The sender was crashed at the tick it sent.
+    SenderCrashed,
+    /// The recipient was crashed when the message would have landed.
+    RecipientCrashed,
+    /// The directed link is configured to drop everything.
+    Link,
+    /// The periodic-drop schedule claimed this transmission.
+    Periodic,
+}
+
+impl DropCause {
+    fn metric(self) -> &'static str {
+        match self {
+            DropCause::SenderCrashed => "drop_sender_crashed",
+            DropCause::RecipientCrashed => "drop_recipient_crashed",
+            DropCause::Link => "drop_link",
+            DropCause::Periodic => "drop_periodic",
+        }
+    }
+}
+
+/// The single fault-attribution chain both transports evaluate at
+/// delivery time. `seq` is the message's *enqueue-order* sequence
+/// number (1-based), which pins the periodic-drop schedule to logical
+/// messages rather than delivery order — the transport-invariance
+/// contract of [`FaultPlan::is_periodically_dropped`].
+pub(crate) fn classify_loss(
+    faults: &FaultPlan,
+    from: NodeId,
+    to: NodeId,
+    sent_round: u64,
+    recv_round: u64,
+    seq: u64,
+) -> Option<DropCause> {
+    if faults.is_crashed(from, sent_round) {
+        Some(DropCause::SenderCrashed)
+    } else if faults.is_crashed(to, recv_round) {
+        Some(DropCause::RecipientCrashed)
+    } else if faults.is_link_dropped(from, to) {
+        Some(DropCause::Link)
+    } else if faults.is_periodically_dropped(seq) {
+        Some(DropCause::Periodic)
+    } else {
+        None
+    }
+}
+
+/// Records the per-link counters and the delivery-delay histogram for
+/// one enqueued transmission. `delivery_ticks` is the logical latency
+/// the message was assigned (always `1` on the lockstep transport).
+pub(crate) fn record_enqueue(
+    metrics: &mut MetricsSnapshot,
+    from: NodeId,
+    to: NodeId,
+    bytes: u64,
+    delivery_ticks: u64,
+) {
+    let link = Key::named("link_messages")
+        .agent(from.0 as u32)
+        .peer(to.0 as u32);
+    metrics.incr(link, 1);
+    let link_bytes = Key::named("link_bytes")
+        .agent(from.0 as u32)
+        .peer(to.0 as u32);
+    metrics.incr(link_bytes, bytes);
+    metrics.observe(
+        Key::named("delay_ticks"),
+        DELAY_TICK_BUCKETS,
+        delivery_ticks,
+    );
+}
+
+/// Records one lost transmission under its attributed cause.
+pub(crate) fn record_drop(metrics: &mut MetricsSnapshot, cause: DropCause) {
+    metrics.incr(Key::named(cause.metric()), 1);
+}
+
 /// A synchronous network of `n` nodes with per-round delivery — the
 /// lockstep implementation of [`Transport`].
 ///
@@ -79,8 +164,12 @@ pub struct LockstepTransport<M> {
     pending: Vec<InFlight<M>>,
     inboxes: Vec<VecDeque<Delivered<M>>>,
     stats: NetworkStats,
+    metrics: MetricsSnapshot,
     faults: FaultPlan,
     /// Running transmission counter for the periodic-drop schedule.
+    /// Lockstep delivery preserves enqueue order, so incrementing at
+    /// delivery assigns the same sequence numbers an enqueue-time stamp
+    /// would — the `DelayTransport` has to stamp at enqueue instead.
     transmissions: u64,
 }
 
@@ -112,6 +201,7 @@ impl<M: Payload + Clone> LockstepTransport<M> {
             pending: Vec::new(),
             inboxes: (0..n).map(|_| VecDeque::new()).collect(),
             stats: NetworkStats::default(),
+            metrics: MetricsSnapshot::default(),
             faults,
             transmissions: 0,
         }
@@ -130,6 +220,13 @@ impl<M: Payload + Clone> LockstepTransport<M> {
     /// The traffic counters.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// The transport-level metrics: per-link `link_messages` /
+    /// `link_bytes`, the `delay_ticks` histogram (always the one-tick
+    /// bucket on this transport) and per-cause `drop_*` counters.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
     }
 
     /// The fault schedule.
@@ -155,6 +252,7 @@ impl<M: Payload + Clone> LockstepTransport<M> {
         assert_ne!(from, to, "self-sends are local state, not messages");
         self.stats.point_to_point += 1;
         self.stats.bytes += payload.size_bytes() as u64;
+        record_enqueue(&mut self.metrics, from, to, payload.size_bytes() as u64, 1);
         self.pending.push(InFlight {
             from,
             to,
@@ -178,6 +276,13 @@ impl<M: Payload + Clone> LockstepTransport<M> {
             }
             self.stats.point_to_point += 1;
             self.stats.bytes += payload.size_bytes() as u64;
+            record_enqueue(
+                &mut self.metrics,
+                from,
+                NodeId(to),
+                payload.size_bytes() as u64,
+                1,
+            );
             self.pending.push(InFlight {
                 from,
                 to: NodeId(to),
@@ -193,12 +298,16 @@ impl<M: Payload + Clone> LockstepTransport<M> {
         let mut delivered = 0;
         for msg in std::mem::take(&mut self.pending) {
             self.transmissions += 1;
-            let lost = self.faults.is_crashed(msg.from, self.round)
-                || self.faults.is_crashed(msg.to, self.round)
-                || self.faults.is_link_dropped(msg.from, msg.to)
-                || self.faults.is_periodically_dropped(self.transmissions);
-            if lost {
+            if let Some(cause) = classify_loss(
+                &self.faults,
+                msg.from,
+                msg.to,
+                self.round,
+                self.round,
+                self.transmissions,
+            ) {
                 self.stats.dropped += 1;
+                record_drop(&mut self.metrics, cause);
                 continue;
             }
             self.inboxes[msg.to.0].push_back(Delivered {
@@ -264,6 +373,10 @@ impl<M: Payload + Clone> Transport<M> for LockstepTransport<M> {
 
     fn stats(&self) -> &NetworkStats {
         LockstepTransport::stats(self)
+    }
+
+    fn metrics(&self) -> &MetricsSnapshot {
+        LockstepTransport::metrics(self)
     }
 
     fn faults(&self) -> &FaultPlan {

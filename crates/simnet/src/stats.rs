@@ -28,9 +28,22 @@ pub struct NetworkStats {
 
 impl NetworkStats {
     /// Messages still in flight (enqueued but neither delivered nor
-    /// dropped).
+    /// dropped) — e.g. held past run end by a delay transport.
+    ///
+    /// Delivered plus dropped can never exceed enqueued; if accounting
+    /// ever drifts this debug-asserts rather than panicking on raw
+    /// subtraction (and saturates to zero in release builds instead of
+    /// wrapping to an absurd count).
     pub fn in_flight(&self) -> u64 {
-        self.point_to_point - self.delivered - self.dropped
+        let settled = self.delivered + self.dropped;
+        debug_assert!(
+            settled <= self.point_to_point,
+            "traffic accounting drift: delivered {} + dropped {} > enqueued {}",
+            self.delivered,
+            self.dropped,
+            self.point_to_point
+        );
+        self.point_to_point.saturating_sub(settled)
     }
 
     /// Accumulates another run's counters into this one — the aggregation

@@ -20,6 +20,7 @@
 use crate::faults::FaultPlan;
 use crate::network::{Delivered, NodeId, Payload, Recipient};
 use crate::stats::NetworkStats;
+use dmw_obs::MetricsSnapshot;
 use std::collections::HashMap;
 
 /// A message-delivery substrate for `n` protocol agents.
@@ -63,6 +64,13 @@ pub trait Transport<M: Payload + Clone> {
 
     /// The cumulative traffic counters.
     fn stats(&self) -> &NetworkStats;
+
+    /// The transport-level [`MetricsSnapshot`]: per-link
+    /// `link_messages` / `link_bytes` counters, the `delay_ticks`
+    /// delivery-latency histogram (observed at enqueue, in logical
+    /// ticks) and per-cause `drop_*` counters. Purely deterministic —
+    /// two runs of the same seed yield equal snapshots.
+    fn metrics(&self) -> &MetricsSnapshot;
 
     /// The fault schedule the transport applies.
     fn faults(&self) -> &FaultPlan;

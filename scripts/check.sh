@@ -10,10 +10,13 @@
 #      and the protocol-critical modules of `dmw` are policed by dmw-lint
 #   3. cargo doc                  -- rustdoc warnings (broken intra-doc
 #      links, missing docs) are errors
-#   4. dmw-lint                   -- protocol-invariant rules L1-L6
-#   5. cargo test                 -- full workspace suite (which re-runs
+#   4. dmw-lint                   -- protocol-invariant rules L1-L7
+#   5. cargo build -p dmw-examples --bins
+#                                 -- the example binaries ([[bin]] targets
+#      with autobins off, so plain `cargo build`/`cargo test` skip them)
+#   6. cargo test                 -- full workspace suite (which re-runs
 #      dmw-lint as an integration test, so CI cannot skip it)
-#   6. bench_batch --smoke        -- the batch engine end-to-end on a tiny
+#   7. bench_batch --smoke        -- the batch engine end-to-end on a tiny
 #      instance, exiting non-zero if thread counts disagree
 #
 # Exits non-zero at the first failing step.
@@ -36,6 +39,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --quiet --no-deps
 
 echo "==> dmw-lint"
 cargo run --quiet -p dmw-lint
+
+echo "==> cargo build -p dmw-examples --bins"
+cargo build --quiet -p dmw-examples --bins
 
 echo "==> cargo test (workspace)"
 cargo test --quiet --workspace

@@ -1,0 +1,111 @@
+//! Determinism contract of the `dmw-obs` metrics layer: the
+//! [`MetricsSnapshot`] carried on every run is part of the observable
+//! artifact, so it must be bit-identical whatever the batch thread
+//! count, and identical between the lockstep transport and a delay
+//! transport with the synchronous profile (which delivers on the same
+//! schedule). Parallelism and transport plumbing are execution details,
+//! never observables.
+
+use dmw::batch::{aggregate_metrics, BatchRunner, TrialSpec};
+use dmw::runner::DmwRunner;
+use dmw::Behavior;
+use dmw_simnet::{DelayProfile, DelayTransport, FaultPlan, NodeId};
+use integration_tests::{config, random_bids, rng};
+
+const SEED: u64 = 20050717;
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn metrics_are_bit_identical_across_thread_counts() {
+    let mut r = rng(SEED);
+    let cfg = config(6, 1, &mut r);
+    let runner = DmwRunner::new(cfg);
+    let n = runner.config().agents();
+    let trials: Vec<TrialSpec> = (0..12)
+        .map(|t| {
+            let bids = random_bids(runner.config(), 3, &mut r);
+            match t % 3 {
+                0 => TrialSpec::honest(bids),
+                1 => {
+                    let mut behaviors = vec![Behavior::Suggested; n];
+                    behaviors[t % n] = Behavior::TamperedCommitments;
+                    TrialSpec::honest(bids).with_behaviors(behaviors)
+                }
+                _ => TrialSpec::honest(bids)
+                    .with_faults(FaultPlan::none(n).crash_at(NodeId(t % n), 2)),
+            }
+        })
+        .collect();
+
+    let reference = BatchRunner::with_threads(WIDTHS[0]).run_trials(&runner, SEED, &trials);
+    let reference_aggregate = aggregate_metrics(&reference);
+    assert!(
+        reference_aggregate.counter_total("phase_messages") > 0,
+        "the workload must actually record metrics"
+    );
+    for width in &WIDTHS[1..] {
+        let results = BatchRunner::with_threads(*width).run_trials(&runner, SEED, &trials);
+        for (i, (x, y)) in reference.iter().zip(&results).enumerate() {
+            if let (Ok(x), Ok(y)) = (x, y) {
+                assert_eq!(
+                    x.metrics, y.metrics,
+                    "trial {i} metrics differ at width {width}"
+                );
+            }
+        }
+        let aggregate = aggregate_metrics(&results);
+        assert_eq!(
+            reference_aggregate, aggregate,
+            "aggregate metrics differ at width {width}"
+        );
+        assert_eq!(
+            reference_aggregate.to_json(0),
+            aggregate.to_json(0),
+            "serialized metrics differ at width {width}"
+        );
+    }
+}
+
+#[test]
+fn lockstep_and_synchronous_delay_report_identical_metrics() {
+    // The synchronous delay profile delivers every message on the next
+    // tick, exactly like the lockstep transport, so the two runs walk
+    // the same schedule and must expose the same metrics — including
+    // drop attribution when crash faults are in play.
+    for (case, faults) in [
+        ("fault-free", FaultPlan::none(6)),
+        ("crash", FaultPlan::none(6).crash_at(NodeId(2), 3)),
+    ] {
+        let mut r = rng(SEED ^ 0x0B5);
+        let cfg = config(6, 1, &mut r);
+        let bids = random_bids(&cfg, 3, &mut r);
+        let behaviors = vec![Behavior::Suggested; 6];
+        let runner = DmwRunner::new(cfg);
+
+        let lockstep = runner
+            .run(&bids, &behaviors, faults.clone(), &mut rng(SEED + 9))
+            .expect("valid lockstep run");
+        let delayed = runner
+            .run_on(
+                &bids,
+                &behaviors,
+                DelayTransport::with_faults(6, faults, DelayProfile::synchronous()),
+                &mut rng(SEED + 9),
+            )
+            .expect("valid delay run");
+
+        assert_eq!(
+            lockstep.result, delayed.result,
+            "{case}: outcomes must agree before metrics can be compared"
+        );
+        assert_eq!(
+            lockstep.metrics, delayed.metrics,
+            "{case}: metrics differ between transports"
+        );
+        assert_eq!(
+            lockstep.metrics.to_json(0),
+            delayed.metrics.to_json(0),
+            "{case}: serialized metrics differ between transports"
+        );
+    }
+}
