@@ -1,9 +1,10 @@
 //! `bench_batch` — wall-clock/throughput baseline of the batch engine.
 //!
-//! Times the identical honest-trial batch at several thread counts,
+//! Times the identical trial batch at several thread counts,
 //! cross-checks bit-identity of the results, and emits the
-//! `dmw-bench-batch/v2` JSON baseline — wall-clock timings plus a
-//! deterministic per-phase breakdown (see `docs/benchmarks.md`):
+//! `dmw-bench-batch/v3` JSON baseline — wall-clock timings plus a
+//! deterministic per-phase breakdown and the recovery-layer aggregates
+//! (see `docs/benchmarks.md`):
 //!
 //! ```text
 //! cargo run --release -p dmw-bench --bin bench_batch -- --out BENCH_batch.json
@@ -13,10 +14,13 @@
 //! Flags: `--trials <N>` (default 192), `--threads <a,b,c>` (default
 //! `1,2,4,8`; the first entry is the sequential reference), `--n/--c/--m`
 //! (workload shape, default `8/1/4`), `--seed <u64>` (default the PODC
-//! seed), `--out <path>` (write the JSON baseline; omitted = print to
-//! stdout), `--smoke` (tiny instance, no file output — the `check.sh`
-//! gate). Exits non-zero if any thread count produced results differing
-//! from the sequential reference.
+//! seed), `--no-chaos` (time the clean honest sweep instead of the
+//! default chaos workload — reliable delivery over `drop_every(3)` loss
+//! with a crash rotation exercising graceful degradation), `--out
+//! <path>` (write the JSON baseline; omitted = print to stdout),
+//! `--smoke` (tiny instance, no file output — the `check.sh` gate).
+//! Exits non-zero if any thread count produced results differing from
+//! the sequential reference.
 
 use dmw_bench::experiments::batch::{measure, Workload};
 
@@ -27,6 +31,7 @@ struct Options {
     c: usize,
     m: usize,
     seed: u64,
+    chaos: bool,
     out: Option<String>,
     smoke: bool,
 }
@@ -34,7 +39,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_batch [--trials N] [--threads a,b,c] [--n N] [--c C] [--m M] \
-         [--seed S] [--out PATH] [--smoke]"
+         [--seed S] [--no-chaos] [--out PATH] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -53,6 +58,7 @@ fn parse_options() -> Options {
         c: 1,
         m: 4,
         seed: 20050717, // PODC 2005
+        chaos: true,
         out: None,
         smoke: false,
     };
@@ -71,6 +77,7 @@ fn parse_options() -> Options {
             "--c" => options.c = parse(it.next()),
             "--m" => options.m = parse(it.next()),
             "--seed" => options.seed = parse(it.next()),
+            "--no-chaos" => options.chaos = false,
             "--out" => options.out = Some(it.next().unwrap_or_else(|| usage())),
             "--smoke" => options.smoke = true,
             _ => usage(),
@@ -96,10 +103,12 @@ fn main() {
         faults: options.c,
         tasks: options.m,
         trials: options.trials,
+        chaos: options.chaos,
     };
     eprintln!(
-        "bench_batch: {} trials of n = {}, m = {}, c = {} at widths {:?} (seed {})",
+        "bench_batch: {} {} trials of n = {}, m = {}, c = {} at widths {:?} (seed {})",
         workload.trials,
+        if workload.chaos { "chaos" } else { "honest" },
         workload.agents,
         workload.tasks,
         workload.faults,
@@ -114,9 +123,11 @@ fn main() {
         );
     }
     eprintln!(
-        "  completed {}/{} trials; bit-identical across widths: {}; host parallelism: {}",
+        "  completed {}/{} trials ({} degraded); bit-identical across widths: {}; \
+         host parallelism: {}",
         baseline.completed_trials,
         workload.trials,
+        baseline.degraded_trials,
         baseline.bit_identical,
         baseline.host_parallelism
     );

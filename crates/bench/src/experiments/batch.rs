@@ -8,10 +8,13 @@
 //! sweep). [`measure`] times the *same* trial batch at several thread
 //! counts and cross-checks that every width produces bit-identical
 //! results; [`Baseline::to_json`] serializes the measurement into the
-//! `dmw-bench-batch/v2` schema documented in `docs/benchmarks.md` —
-//! v2 adds a per-phase breakdown (messages, bytes, dwell ticks)
+//! `dmw-bench-batch/v3` schema documented in `docs/benchmarks.md` —
+//! v2 added a per-phase breakdown (messages, bytes, dwell ticks)
 //! aggregated from the deterministic `dmw-obs` metrics every run
-//! carries.
+//! carries; v3 adds the chaos workload (reliable delivery over a seeded
+//! fault matrix, with a crash rotation exercising graceful degradation)
+//! and a `recovery` block: retransmissions, acks, recovery rounds and
+//! degraded-run counts aggregated over the batch.
 //!
 //! The [`run`] report (the `batch-engine` subcommand of `reproduce`)
 //! deliberately contains **no wall-clock numbers** so that
@@ -24,7 +27,7 @@ use dmw::batch::{aggregate_metrics, BatchRunner, TrialSpec};
 use dmw::runner::{DmwRun, DmwRunner};
 use dmw::DmwError;
 use dmw_obs::MetricsSnapshot;
-use dmw_simnet::NetworkStats;
+use dmw_simnet::{FaultPlan, NetworkStats, NodeId};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -39,6 +42,12 @@ pub struct Workload {
     pub tasks: usize,
     /// Independent honest trials in the batch.
     pub trials: usize,
+    /// Chaos mode: run with the reliable-delivery sublayer enabled,
+    /// every trial under `drop_every(3)` packet loss, and (when
+    /// `faults > 0`) every eighth trial crashing one agent mid-protocol,
+    /// so the batch also times the ack/retransmit and
+    /// graceful-degradation paths.
+    pub chaos: bool,
 }
 
 /// One thread-count timing of the same trial batch.
@@ -70,8 +79,13 @@ pub struct Baseline {
     /// Whether every thread count produced bit-identical results
     /// (schedules, payments, traces, traffic counters).
     pub bit_identical: bool,
-    /// Trials that completed (the honest workload completes all).
+    /// Trials that completed cleanly (the honest workload completes
+    /// all; the chaos workload's crash trials degrade instead).
     pub completed_trials: usize,
+    /// Trials that ended in graceful degradation (survivor re-auction
+    /// after an exclusion vote) — nonzero only for chaos workloads with
+    /// a crash rotation.
+    pub degraded_trials: usize,
     /// Whole-batch traffic, aggregated over every trial.
     pub traffic: NetworkStats,
     /// Deterministic `dmw-obs` metrics, aggregated over every trial —
@@ -93,9 +107,26 @@ pub struct Baseline {
 pub fn measure(seed: u64, workload: Workload, thread_counts: &[usize]) -> Baseline {
     let mut r = rng(seed);
     let cfg = config(workload.agents, workload.faults, &mut r);
-    let runner = DmwRunner::new(cfg);
+    let mut runner = DmwRunner::new(cfg);
+    if workload.chaos {
+        runner = runner.with_recovery();
+    }
     let trials: Vec<TrialSpec> = (0..workload.trials)
-        .map(|_| TrialSpec::honest(random_bids(runner.config(), workload.tasks, &mut r)))
+        .map(|i| {
+            let spec = TrialSpec::honest(random_bids(runner.config(), workload.tasks, &mut r));
+            if !workload.chaos {
+                return spec;
+            }
+            let mut faults = FaultPlan::none(workload.agents).drop_every(3);
+            if workload.faults > 0 && i % 8 == 3 {
+                // One mid-protocol crash per eighth trial — late enough
+                // that the victim participates (and often wins), so the
+                // batch also times the exclusion vote and the survivor
+                // re-auction, not just early-silence masking.
+                faults = faults.crash_at(NodeId(i % workload.agents), 40);
+            }
+            spec.with_faults(faults)
+        })
         .collect();
 
     let mut runs = Vec::new();
@@ -125,6 +156,10 @@ pub fn measure(seed: u64, workload: Workload, thread_counts: &[usize]) -> Baseli
         .iter()
         .filter(|r| r.as_ref().is_ok_and(DmwRun::is_completed))
         .count();
+    let degraded_trials = reference
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(DmwRun::is_degraded))
+        .count();
     let traffic = reference
         .iter()
         .filter_map(|r| r.as_ref().ok().map(|run| run.network))
@@ -137,6 +172,7 @@ pub fn measure(seed: u64, workload: Workload, thread_counts: &[usize]) -> Baseli
         runs,
         bit_identical,
         completed_trials,
+        degraded_trials,
         traffic,
         metrics,
     }
@@ -185,20 +221,28 @@ fn phase_breakdown(metrics: &MetricsSnapshot) -> Vec<(&'static str, u64, u64, u6
 }
 
 impl Baseline {
-    /// Serializes to the `dmw-bench-batch/v2` JSON schema (see
-    /// `docs/benchmarks.md`): v1 plus a `phases` object breaking the
-    /// aggregate traffic down per protocol phase.
+    /// Serializes to the `dmw-bench-batch/v3` JSON schema (see
+    /// `docs/benchmarks.md`): v2 (the per-phase `phases` breakdown)
+    /// plus the workload's `chaos` flag, the `degraded_trials` count
+    /// and a `recovery` object aggregating the reliable-delivery and
+    /// graceful-degradation counters over the whole batch.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"dmw-bench-batch/v2\",\n");
+        out.push_str("  \"schema\": \"dmw-bench-batch/v3\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str("  \"workload\": {\n");
-        out.push_str("    \"experiment\": \"honest-trial-sweep\",\n");
+        let experiment = if self.workload.chaos {
+            "chaos-trial-sweep"
+        } else {
+            "honest-trial-sweep"
+        };
+        out.push_str(&format!("    \"experiment\": \"{experiment}\",\n"));
         out.push_str(&format!("    \"agents\": {},\n", self.workload.agents));
         out.push_str(&format!("    \"faults\": {},\n", self.workload.faults));
         out.push_str(&format!("    \"tasks\": {},\n", self.workload.tasks));
-        out.push_str(&format!("    \"trials\": {}\n", self.workload.trials));
+        out.push_str(&format!("    \"trials\": {},\n", self.workload.trials));
+        out.push_str(&format!("    \"chaos\": {}\n", self.workload.chaos));
         out.push_str("  },\n");
         out.push_str("  \"host\": {\n");
         out.push_str(&format!("    \"os\": \"{}\",\n", std::env::consts::OS));
@@ -224,6 +268,40 @@ impl Baseline {
             "  \"completed_trials\": {},\n",
             self.completed_trials
         ));
+        out.push_str(&format!(
+            "  \"degraded_trials\": {},\n",
+            self.degraded_trials
+        ));
+        out.push_str("  \"recovery\": {\n");
+        out.push_str(&format!(
+            "    \"retransmissions\": {},\n",
+            self.metrics.counter_total("retransmissions")
+        ));
+        out.push_str(&format!(
+            "    \"acks_sent\": {},\n",
+            self.metrics.counter_total("acks_sent")
+        ));
+        out.push_str(&format!(
+            "    \"duplicate_deliveries\": {},\n",
+            self.metrics.counter_total("duplicate_deliveries")
+        ));
+        out.push_str(&format!(
+            "    \"suspect_dead\": {},\n",
+            self.metrics.counter_total("suspect_dead")
+        ));
+        out.push_str(&format!(
+            "    \"degraded_runs\": {},\n",
+            self.metrics.counter_total("degraded_runs")
+        ));
+        out.push_str(&format!(
+            "    \"reauctioned_tasks\": {},\n",
+            self.metrics.counter_total("reauctioned_tasks")
+        ));
+        out.push_str(&format!(
+            "    \"recovery_rounds\": {}\n",
+            self.metrics.counter_total("recovery_rounds")
+        ));
+        out.push_str("  },\n");
         out.push_str("  \"aggregate_traffic\": {\n");
         out.push_str(&format!(
             "    \"messages\": {},\n",
@@ -261,12 +339,14 @@ pub fn run(seed: u64) -> Report {
         faults: 1,
         tasks: 3,
         trials: 24,
+        chaos: true,
     };
     let baseline = measure(seed, workload, &[1, 2, 8]);
     let mut report = Report::new(
         "Batch engine — thread-count-invariant parallel execution of independent trials",
     );
     report.note("Every trial draws from a private stream seeded by trial_seed(batch_seed, index), so results are bit-identical whatever the thread count.");
+    report.note("The sweep runs in chaos mode: every trial repairs drop_every(3) packet loss through the reliable-delivery sublayer, and every eighth trial crashes one agent mid-protocol, degrading gracefully via the survivor re-auction (see [recovery.md](recovery.md)).");
     report.note("Wall-clock numbers are deliberately omitted here; regenerate BENCH_batch.json with the bench_batch binary — schema and interpretation in [benchmarks.md](benchmarks.md).");
     let rows = vec![vec![
         format!(
@@ -275,6 +355,7 @@ pub fn run(seed: u64) -> Report {
         ),
         workload.trials.to_string(),
         baseline.completed_trials.to_string(),
+        baseline.degraded_trials.to_string(),
         baseline
             .runs
             .iter()
@@ -286,17 +367,51 @@ pub fn run(seed: u64) -> Report {
         baseline.traffic.bytes.to_string(),
     ]];
     report.table(
-        "honest-trial sweep, identical batch at several widths",
+        "chaos-trial sweep, identical batch at several widths",
         &[
             "shape",
             "trials",
             "completed",
+            "degraded",
             "widths checked",
             "bit-identical",
             "total messages",
             "total bytes",
         ],
         rows,
+    );
+    report.table(
+        "reliable delivery and graceful degradation, aggregated over the batch",
+        &[
+            "retransmissions",
+            "acks sent",
+            "duplicates dropped",
+            "suspicions",
+            "degraded runs",
+            "re-auctioned tasks",
+            "recovery rounds",
+        ],
+        vec![vec![
+            baseline
+                .metrics
+                .counter_total("retransmissions")
+                .to_string(),
+            baseline.metrics.counter_total("acks_sent").to_string(),
+            baseline
+                .metrics
+                .counter_total("duplicate_deliveries")
+                .to_string(),
+            baseline.metrics.counter_total("suspect_dead").to_string(),
+            baseline.metrics.counter_total("degraded_runs").to_string(),
+            baseline
+                .metrics
+                .counter_total("reauctioned_tasks")
+                .to_string(),
+            baseline
+                .metrics
+                .counter_total("recovery_rounds")
+                .to_string(),
+        ]],
     );
     let phase_rows: Vec<Vec<String>> = phase_breakdown(&baseline.metrics)
         .into_iter()
@@ -329,32 +444,61 @@ mod tests {
             faults: 0,
             tasks: 2,
             trials: 6,
+            chaos: false,
         };
         let baseline = measure(5, workload, &[1, 2, 8]);
         assert!(baseline.bit_identical);
         assert_eq!(baseline.completed_trials, 6);
+        assert_eq!(baseline.degraded_trials, 0);
         assert_eq!(baseline.runs.len(), 3);
         assert!((baseline.runs[0].speedup_vs_sequential - 1.0).abs() < 1e-9);
         assert!(baseline.traffic.point_to_point > 0);
         assert!(baseline.metrics.counter_total("phase_messages") > 0);
+        assert_eq!(baseline.metrics.counter_total("retransmissions"), 0);
     }
 
     #[test]
-    fn json_has_the_v2_shape() {
+    fn chaos_workload_repairs_loss_and_degrades_crash_trials() {
+        let workload = Workload {
+            agents: 5,
+            faults: 1,
+            tasks: 2,
+            trials: 8,
+            chaos: true,
+        };
+        let baseline = measure(7, workload, &[1, 2]);
+        assert!(baseline.bit_identical);
+        // Trial 3 carries the rotation's crash and degrades; the other
+        // seven repair their packet loss and complete cleanly.
+        assert_eq!(baseline.completed_trials, 7);
+        assert_eq!(baseline.degraded_trials, 1);
+        assert!(baseline.metrics.counter_total("retransmissions") > 0);
+        assert_eq!(baseline.metrics.counter_total("degraded_runs"), 1);
+    }
+
+    #[test]
+    fn json_has_the_v3_shape() {
         let workload = Workload {
             agents: 4,
             faults: 0,
             tasks: 1,
             trials: 3,
+            chaos: false,
         };
         let json = measure(6, workload, &[1, 2]).to_json();
         for needle in [
-            "\"schema\": \"dmw-bench-batch/v2\"",
+            "\"schema\": \"dmw-bench-batch/v3\"",
+            "\"experiment\": \"honest-trial-sweep\"",
             "\"trials\": 3",
+            "\"chaos\": false",
             "\"threads\": 2",
             "\"speedup_vs_sequential\"",
             "\"bit_identical_across_thread_counts\": true",
             "\"available_parallelism\"",
+            "\"degraded_trials\": 0",
+            "\"recovery\": {",
+            "\"retransmissions\": 0",
+            "\"recovery_rounds\": 0",
             "\"phases\": {",
             "\"bidding\": { \"messages\": ",
             "\"dwell_ticks\": ",
@@ -370,6 +514,7 @@ mod tests {
             faults: 0,
             tasks: 2,
             trials: 4,
+            chaos: false,
         };
         let baseline = measure(11, workload, &[1]);
         let breakdown = phase_breakdown(&baseline.metrics);

@@ -464,7 +464,15 @@ impl DmwAgent {
                     self.tasks[task].excluded[from] = Some(pair);
                 }
             }
-            Body::PaymentClaim { .. } | Body::Abort { .. } | Body::Batch(_) => {}
+            // Reliable-delivery control traffic is consumed by the
+            // runner's endpoint layer before the agent is polled; these
+            // arms exist so the dispatch stays wildcard-free (L3).
+            Body::PaymentClaim { .. }
+            | Body::Abort { .. }
+            | Body::Batch(_)
+            | Body::Sealed { .. }
+            | Body::Ack { .. }
+            | Body::SuspectDead { .. } => {}
         }
     }
 

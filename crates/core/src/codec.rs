@@ -191,6 +191,9 @@ const TAG_PAYMENT: u8 = 6;
 const TAG_ABORT: u8 = 7;
 const TAG_BATCH: u8 = 8;
 const TAG_WINNER_CLAIM: u8 = 9;
+const TAG_SEALED: u8 = 10;
+const TAG_ACK: u8 = 11;
+const TAG_SUSPECT_DEAD: u8 = 12;
 
 fn encode_abort(reason: &AbortReason, w: &mut Writer) {
     match reason {
@@ -325,8 +328,10 @@ impl Body {
             }
             Body::Batch(bodies) => {
                 assert!(
-                    !bodies.iter().any(|b| matches!(b, Body::Batch(_))),
-                    "batches never nest"
+                    !bodies
+                        .iter()
+                        .any(|b| matches!(b, Body::Batch(_) | Body::Sealed { .. })),
+                    "batches never nest and sealing is outermost"
                 );
                 w.u8(TAG_BATCH);
                 w.u32(bodies.len() as u32);
@@ -335,6 +340,24 @@ impl Body {
                     w.u32(encoded.len() as u32);
                     w.buf.extend_from_slice(&encoded);
                 }
+            }
+            Body::Sealed { seq, ack, inner } => {
+                assert!(
+                    !matches!(**inner, Body::Sealed { .. }),
+                    "sealed envelopes never nest"
+                );
+                w.u8(TAG_SEALED);
+                w.u64(*seq);
+                w.u64(*ack);
+                w.buf.extend_from_slice(&inner.encode());
+            }
+            Body::Ack { ack } => {
+                w.u8(TAG_ACK);
+                w.u64(*ack);
+            }
+            Body::SuspectDead { peer } => {
+                w.u8(TAG_SUSPECT_DEAD);
+                w.u32(*peer as u32);
             }
         }
         w.buf
@@ -372,6 +395,9 @@ impl Body {
             Body::Batch(bodies) => {
                 1 + 4 + bodies.iter().map(|b| 4 + b.encoded_len()).sum::<usize>()
             }
+            Body::Sealed { inner, .. } => 1 + 8 + 8 + inner.encoded_len(),
+            Body::Ack { .. } => 1 + 8,
+            Body::SuspectDead { .. } => 1 + 4,
         }
     }
 
@@ -452,15 +478,31 @@ impl Body {
                     let start = r.pos;
                     let end = start.checked_add(len).ok_or(DecodeError::Truncated)?;
                     let slice = r.buf.get(start..end).ok_or(DecodeError::Truncated)?;
-                    // Batches never nest.
-                    if slice.first() == Some(&TAG_BATCH) {
-                        return Err(DecodeError::BadTag { tag: TAG_BATCH });
+                    // Batches never nest, and sealing is outermost.
+                    if let Some(&tag @ (TAG_BATCH | TAG_SEALED)) = slice.first() {
+                        return Err(DecodeError::BadTag { tag });
                     }
                     bodies.push(Body::decode(slice, encoding)?);
                     r.pos = end;
                 }
                 Body::Batch(bodies)
             }
+            TAG_SEALED => {
+                let seq = r.u64()?;
+                let ack = r.u64()?;
+                let slice = r.buf.get(r.pos..).ok_or(DecodeError::Truncated)?;
+                // Sealed envelopes never nest.
+                if slice.first() == Some(&TAG_SEALED) {
+                    return Err(DecodeError::BadTag { tag: TAG_SEALED });
+                }
+                let inner = Box::new(Body::decode(slice, encoding)?);
+                r.pos = r.buf.len();
+                Body::Sealed { seq, ack, inner }
+            }
+            TAG_ACK => Body::Ack { ack: r.u64()? },
+            TAG_SUSPECT_DEAD => Body::SuspectDead {
+                peer: r.u32()? as usize,
+            },
             tag => return Err(DecodeError::BadTag { tag }),
         };
         r.finish()?;
@@ -536,6 +578,16 @@ mod tests {
             Body::Abort {
                 reason: AbortReason::PeerAborted { peer: 2 },
             },
+            Body::Sealed {
+                seq: 17,
+                ack: u64::MAX - 3,
+                inner: Box::new(Body::Disclose {
+                    task: 1,
+                    f_values: vec![5, 6, 7],
+                }),
+            },
+            Body::Ack { ack: 41 },
+            Body::SuspectDead { peer: 3 },
         ];
         (encoding, bodies)
     }
@@ -660,8 +712,60 @@ mod tests {
     }
 
     #[test]
-    fn batch_round_trips_and_rejects_nesting() {
+    fn sealed_envelopes_reject_nesting() {
         let (encoding, bodies) = sample_bodies();
+        // A crafted Sealed-in-Sealed is rejected at decode.
+        let inner = Body::Sealed {
+            seq: 1,
+            ack: 0,
+            inner: Box::new(bodies[0].clone()),
+        }
+        .encode();
+        let mut w = Writer::new();
+        w.u8(TAG_SEALED);
+        w.u64(2);
+        w.u64(0);
+        w.buf.extend_from_slice(&inner);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::BadTag { tag: TAG_SEALED })
+        );
+        // A Sealed inside a Batch is rejected too: sealing is outermost.
+        let mut w = Writer::new();
+        w.u8(TAG_BATCH);
+        w.u32(1);
+        w.u32(inner.len() as u32);
+        w.buf.extend_from_slice(&inner);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::BadTag { tag: TAG_SEALED })
+        );
+    }
+
+    #[test]
+    fn sealed_batch_round_trips() {
+        // The real recovery-mode shape: coalesce first, seal second.
+        let (encoding, bodies) = sample_bodies();
+        let plain: Vec<Body> = bodies
+            .iter()
+            .filter(|b| !matches!(b, Body::Sealed { .. }))
+            .cloned()
+            .collect();
+        let sealed = Body::Sealed {
+            seq: 9,
+            ack: 4,
+            inner: Box::new(Body::Batch(plain)),
+        };
+        let bytes = sealed.encode();
+        assert_eq!(bytes.len(), sealed.encoded_len());
+        assert_eq!(Body::decode(&bytes, &encoding).unwrap(), sealed);
+    }
+
+    #[test]
+    fn batch_round_trips_and_rejects_nesting() {
+        let (encoding, mut bodies) = sample_bodies();
+        // Sealing is outermost, so the batch fixture excludes envelopes.
+        bodies.retain(|b| !matches!(b, Body::Sealed { .. }));
         let batch = Body::Batch(bodies.clone());
         let bytes = batch.encode();
         assert_eq!(bytes.len(), batch.encoded_len());

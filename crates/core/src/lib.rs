@@ -77,6 +77,7 @@ pub mod obedient;
 pub mod payment;
 pub mod phases;
 pub mod related_distributed;
+pub mod reliable;
 pub mod repeated;
 pub mod runner;
 pub mod strategy;

@@ -90,6 +90,37 @@ pub enum Body {
     /// recipient in a single transmission. Produced only when the runner
     /// batches (the `ablation-batch` experiment); never nested.
     Batch(Vec<Body>),
+    /// Reliable-delivery envelope (recovery mode only): the inner
+    /// message stamped with the sender's per-link sequence number plus a
+    /// piggybacked cumulative ack of everything the sender has received
+    /// on the reverse link. Sealing happens *after* coalescing, so a
+    /// `Sealed` may contain a `Batch` but never another `Sealed`.
+    Sealed {
+        /// 1-based per-link sequence number assigned by the sender.
+        seq: u64,
+        /// Cumulative ack: the sender has received every reverse-link
+        /// sequence number `<= ack`.
+        ack: u64,
+        /// The protocol message being carried.
+        inner: Box<Body>,
+    },
+    /// Standalone cumulative ack (recovery mode only), sent when an
+    /// endpoint owes an ack but has no outbound traffic to piggyback it
+    /// on. Never itself acked, so the exchange terminates.
+    Ack {
+        /// The sender has received every reverse-link sequence number
+        /// `<= ack`.
+        ack: u64,
+    },
+    /// Fire-and-forget notice (recovery mode only): the sender's retry
+    /// budget against `peer` is exhausted and it now treats that peer as
+    /// dead. Observability only — the exclusion vote reads each
+    /// endpoint's suspicion state directly, so losing this notice cannot
+    /// change the outcome.
+    SuspectDead {
+        /// The peer the sender gave up on.
+        peer: usize,
+    },
 }
 
 impl Body {
@@ -105,10 +136,14 @@ impl Body {
             Body::PaymentClaim { .. } => "payment-claim",
             Body::Abort { .. } => "abort",
             Body::Batch(_) => "batch",
+            Body::Sealed { .. } => "sealed",
+            Body::Ack { .. } => "ack",
+            Body::SuspectDead { .. } => "suspect-dead",
         }
     }
 
-    /// The task this message belongs to, if task-scoped.
+    /// The task this message belongs to, if task-scoped. A sealed
+    /// envelope reports its carried message's task.
     pub fn task(&self) -> Option<usize> {
         match self {
             Body::Shares { task, .. }
@@ -117,7 +152,12 @@ impl Body {
             | Body::Disclose { task, .. }
             | Body::WinnerClaim { task, .. }
             | Body::Excluded { task, .. } => Some(*task),
-            Body::PaymentClaim { .. } | Body::Abort { .. } | Body::Batch(_) => None,
+            Body::Sealed { inner, .. } => inner.task(),
+            Body::PaymentClaim { .. }
+            | Body::Abort { .. }
+            | Body::Batch(_)
+            | Body::Ack { .. }
+            | Body::SuspectDead { .. } => None,
         }
     }
 }

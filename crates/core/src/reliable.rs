@@ -1,0 +1,587 @@
+//! Reliable delivery: the per-agent ack/retransmit sublayer.
+//!
+//! In recovery mode (see [`crate::runner::DmwRunner::with_recovery`])
+//! the runner interposes one [`ReliableEndpoint`] between each agent
+//! and the transport. Every outbound protocol message is wrapped in a
+//! [`Body::Sealed`] envelope carrying a per-link sequence number and a
+//! piggybacked cumulative ack; inbound envelopes are unsealed,
+//! deduplicated and released to the agent *in sequence order*, so the
+//! agent above sees exactly the lossless message stream whatever the
+//! network drops. Unacked messages are retransmitted on a deterministic
+//! tick-based timeout with exponential backoff, bounded by a retry
+//! budget; when the budget against a peer is exhausted the endpoint
+//! marks the peer *suspected dead*, clears the link, and suppresses
+//! further traffic toward it — the graceful-degradation signal the
+//! runner's exclusion vote consumes (see `docs/recovery.md`).
+//!
+//! Everything here is driven by logical scheduler ticks and iterates in
+//! peer-index order, so recovery behaviour is bit-replayable and
+//! transport-invariant (lockstep vs. synchronous delay).
+
+use crate::messages::Body;
+use dmw_obs::{Key, MetricsSink, MetricsSnapshot};
+use dmw_simnet::{Delivered, NodeId, Recipient};
+use std::collections::BTreeMap;
+
+/// Default first-retransmit timeout in scheduler ticks.
+pub const RETRY_BASE_TIMEOUT: u64 = 4;
+
+/// Default bound on retransmit attempts per message. Every retransmit
+/// loop in this module is bounded by this budget (lint rule L8).
+pub const RETRY_BUDGET: u32 = 5;
+
+/// Timeout/backoff parameters of the reliable sublayer.
+///
+/// Attempt `k` (0-based, `k < budget`) of an unacked message fires
+/// `base_timeout << k` ticks after the previous transmission, so the
+/// whole repair window spans `base_timeout · 2^budget` ticks before
+/// the sender gives up and suspects the peer. The *final* attempt
+/// ships two back-to-back copies of the envelope: consecutive enqueue
+/// slots can never both sit on a `drop_every(k)` schedule (no two
+/// consecutive integers are both multiples of `k ≥ 2`), so a periodic
+/// loss plan that happens to stay phase-locked with the doubling
+/// cadence — every earlier attempt landing on a dropped slot — still
+/// cannot kill the last one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Ticks before the first retransmission.
+    pub base_timeout: u64,
+    /// Maximum number of retransmissions per message.
+    pub budget: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_timeout: RETRY_BASE_TIMEOUT,
+            budget: RETRY_BUDGET,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Worst-case ticks from first transmission to the *last*
+    /// retransmission: `base_timeout · 2^budget` (the initial
+    /// `base_timeout` wait plus the doubling backoffs
+    /// `base_timeout · (1 + 2 + … + 2^{budget−1})`). A phase waiting
+    /// out this window plus delivery latency is guaranteed to have seen
+    /// every repairable message, which is how the runner scales agent
+    /// patience in recovery mode.
+    pub fn worst_case_repair(&self) -> u64 {
+        self.base_timeout
+            .saturating_mul(1u64.checked_shl(self.budget.min(32)).unwrap_or(u64::MAX))
+    }
+}
+
+/// One in-flight message awaiting acknowledgement.
+#[derive(Debug, Clone)]
+struct PendingMsg {
+    seq: u64,
+    body: Body,
+    /// Tick at which the next retransmission fires.
+    next_retry: u64,
+    /// Retransmissions performed so far.
+    attempts: u32,
+}
+
+/// Reliability state of one directed peer link.
+#[derive(Debug, Default)]
+struct ReliableLink {
+    /// Next outbound sequence number (1-based).
+    next_seq: u64,
+    /// Outbound messages not yet covered by a cumulative ack.
+    unacked: Vec<PendingMsg>,
+    /// Highest sequence number received in order from the peer; every
+    /// `seq <= recv_cum` has been released to the agent.
+    recv_cum: u64,
+    /// Out-of-order arrivals buffered until the gap closes.
+    reorder: BTreeMap<u64, Body>,
+    /// `true` when the peer has sent us something since our last ack —
+    /// piggybacked on the next outbound seal, or flushed as a
+    /// standalone [`Body::Ack`] when nothing outbound is pending.
+    owe_ack: bool,
+}
+
+/// The per-agent endpoint of the reliable sublayer: one
+/// `ReliableLink` per peer plus suspicion state and metrics.
+#[derive(Debug)]
+pub struct ReliableEndpoint {
+    me: usize,
+    n: usize,
+    policy: RetryPolicy,
+    links: Vec<ReliableLink>,
+    /// `suspected[p]`: the retry budget toward `p` is exhausted; no
+    /// further protocol traffic is sent to `p`.
+    suspected: Vec<bool>,
+    metrics: MetricsSnapshot,
+}
+
+impl ReliableEndpoint {
+    /// Creates the endpoint for agent `me` of `n`.
+    pub fn new(me: usize, n: usize, policy: RetryPolicy) -> Self {
+        ReliableEndpoint {
+            me,
+            n,
+            policy,
+            links: (0..n).map(|_| ReliableLink::default()).collect(),
+            suspected: vec![false; n],
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Which peers this endpoint has given up on.
+    pub fn suspected(&self) -> &[bool] {
+        &self.suspected
+    }
+
+    /// The endpoint's metrics: `retransmissions`, `acks_sent`,
+    /// `duplicate_deliveries`, `suppressed_sends` and `suspect_dead`,
+    /// labelled per (agent, peer) and — where the runner supplies it —
+    /// the agent's phase at the time.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
+
+    /// `true` when no outbound message is awaiting an ack and no ack is
+    /// owed — the endpoint's contribution to run quiescence.
+    pub fn is_settled(&self) -> bool {
+        self.links
+            .iter()
+            .all(|l| l.unacked.is_empty() && !l.owe_ack)
+    }
+
+    /// Wraps one tick's protocol output into sealed per-peer unicasts.
+    /// Broadcasts expand to one envelope per non-suspected peer (the
+    /// transport-level `n − 1` cost model, minus the dead); unicasts to
+    /// suspected peers are suppressed and counted. Piggybacks the
+    /// cumulative ack for each destination and registers every envelope
+    /// for retransmission.
+    pub fn seal_outgoing(
+        &mut self,
+        now: u64,
+        phase: &'static str,
+        outgoing: Vec<(Recipient, Body)>,
+    ) -> Vec<(NodeId, Body)> {
+        let mut wire = Vec::new();
+        for (recipient, body) in outgoing {
+            match recipient {
+                Recipient::Unicast(to) => {
+                    self.seal_one(now, phase, to.0, body, &mut wire);
+                }
+                Recipient::Broadcast => {
+                    for to in 0..self.n {
+                        if to != self.me {
+                            self.seal_one(now, phase, to, body.clone(), &mut wire);
+                        }
+                    }
+                }
+            }
+        }
+        wire
+    }
+
+    fn seal_one(
+        &mut self,
+        now: u64,
+        phase: &'static str,
+        to: usize,
+        body: Body,
+        wire: &mut Vec<(NodeId, Body)>,
+    ) {
+        if self.suspected[to] {
+            let key = Key::named("suppressed_sends")
+                .phase(phase)
+                .agent(self.me as u32)
+                .peer(to as u32);
+            self.metrics.incr(key, 1);
+            return;
+        }
+        let link = &mut self.links[to];
+        link.next_seq += 1;
+        let seq = link.next_seq;
+        link.owe_ack = false; // the envelope carries the ack
+        link.unacked.push(PendingMsg {
+            seq,
+            body: body.clone(),
+            next_retry: now + self.policy.base_timeout,
+            attempts: 0,
+        });
+        wire.push((
+            NodeId(to),
+            Body::Sealed {
+                seq,
+                ack: link.recv_cum,
+                inner: Box::new(body),
+            },
+        ));
+    }
+
+    /// Unseals one tick's arrivals: applies piggybacked and standalone
+    /// acks, deduplicates, buffers out-of-order envelopes, and returns
+    /// the in-order protocol messages the agent should see. Non-sealed
+    /// protocol bodies pass through untouched (they cannot occur in
+    /// recovery mode, but the contract stays total).
+    pub fn process_inbound(&mut self, inbox: Vec<Delivered<Body>>) -> Vec<Delivered<Body>> {
+        let mut released = Vec::new();
+        for msg in inbox {
+            let from = msg.from.0;
+            match msg.payload {
+                Body::Sealed { seq, ack, inner } => {
+                    self.apply_ack(from, ack);
+                    let link = &mut self.links[from];
+                    link.owe_ack = true;
+                    if seq <= link.recv_cum {
+                        let key = Key::named("duplicate_deliveries")
+                            .agent(self.me as u32)
+                            .peer(from as u32);
+                        self.metrics.incr(key, 1);
+                        continue;
+                    }
+                    if seq == link.recv_cum + 1 {
+                        link.recv_cum = seq;
+                        released.push(Delivered {
+                            from: msg.from,
+                            broadcast: msg.broadcast,
+                            payload: *inner,
+                        });
+                        // The gap may have closed: drain the reorder
+                        // buffer while it stays consecutive.
+                        while let Some(body) = link.reorder.remove(&(link.recv_cum + 1)) {
+                            link.recv_cum += 1;
+                            released.push(Delivered {
+                                from: msg.from,
+                                broadcast: msg.broadcast,
+                                payload: body,
+                            });
+                        }
+                    } else {
+                        // Out of order: hold until the gap closes. A
+                        // duplicate of a buffered seq is idempotent.
+                        link.reorder.entry(seq).or_insert(*inner);
+                    }
+                }
+                Body::Ack { ack } => {
+                    self.apply_ack(from, ack);
+                }
+                Body::SuspectDead { peer } => {
+                    // Observability only: the exclusion vote reads each
+                    // endpoint's own suspicion state, never this notice.
+                    let key = Key::named("suspect_notices")
+                        .agent(self.me as u32)
+                        .peer(peer as u32);
+                    self.metrics.incr(key, 1);
+                }
+                other => released.push(Delivered {
+                    from: msg.from,
+                    broadcast: msg.broadcast,
+                    payload: other,
+                }),
+            }
+        }
+        released
+    }
+
+    fn apply_ack(&mut self, from: usize, ack: u64) {
+        self.links[from].unacked.retain(|p| p.seq > ack);
+    }
+
+    /// Advances the retransmit timers one tick and flushes owed acks.
+    /// Returns control traffic to transmit: retransmissions of overdue
+    /// envelopes (backoff-doubled, budget-bounded), standalone
+    /// [`Body::Ack`]s for peers with nothing outbound to piggyback on,
+    /// and a fire-and-forget [`Body::SuspectDead`] broadcast when a
+    /// peer's budget exhausts this tick.
+    pub fn tick(&mut self, now: u64, phase: &'static str) -> Vec<(Recipient, Body)> {
+        let mut out = Vec::new();
+        for peer in 0..self.n {
+            if peer == self.me {
+                continue;
+            }
+            if !self.suspected[peer] {
+                let mut exhausted = false;
+                let link = &mut self.links[peer];
+                // Budget-bounded retransmit sweep: every pending message
+                // retries at most `policy.budget` times (L8).
+                for pending in &mut link.unacked {
+                    if pending.next_retry > now {
+                        continue;
+                    }
+                    if pending.attempts >= self.policy.budget {
+                        exhausted = true;
+                        break;
+                    }
+                    // The final budgeted attempt ships two back-to-back
+                    // copies: consecutive enqueue slots can never both
+                    // be multiples of a drop period `k ≥ 2`, so a
+                    // periodic loss schedule phase-locked with the
+                    // doubling backoff cannot kill every attempt.
+                    let copies = if pending.attempts + 1 >= self.policy.budget {
+                        2
+                    } else {
+                        1
+                    };
+                    for _ in 0..copies {
+                        out.push((
+                            Recipient::Unicast(NodeId(peer)),
+                            Body::Sealed {
+                                seq: pending.seq,
+                                ack: link.recv_cum,
+                                inner: Box::new(pending.body.clone()),
+                            },
+                        ));
+                    }
+                    link.owe_ack = false;
+                    pending.next_retry = now + (self.policy.base_timeout << pending.attempts);
+                    pending.attempts += 1;
+                    let key = Key::named("retransmissions")
+                        .phase(phase)
+                        .agent(self.me as u32)
+                        .peer(peer as u32);
+                    self.metrics.incr(key, copies);
+                }
+                if exhausted {
+                    self.suspected[peer] = true;
+                    self.links[peer].unacked.clear();
+                    let key = Key::named("suspect_dead")
+                        .phase(phase)
+                        .agent(self.me as u32)
+                        .peer(peer as u32);
+                    self.metrics.incr(key, 1);
+                    out.push((Recipient::Broadcast, Body::SuspectDead { peer }));
+                }
+            }
+            // Owed acks flush even toward suspected peers: an ack is
+            // never acked back, so this costs one message and helps the
+            // other side settle.
+            let link = &mut self.links[peer];
+            if link.owe_ack {
+                out.push((
+                    Recipient::Unicast(NodeId(peer)),
+                    Body::Ack { ack: link.recv_cum },
+                ));
+                link.owe_ack = false;
+                let key = Key::named("acks_sent")
+                    .agent(self.me as u32)
+                    .peer(peer as u32);
+                self.metrics.incr(key, 1);
+            }
+        }
+        out
+    }
+}
+
+/// The deterministic exclusion round the runner executes after a
+/// recovery-mode run: agent `p` is excluded when a *strict majority* of
+/// the non-excluded voters (everyone but `p` itself) suspect it. Each
+/// fixpoint round excludes only the candidate(s) carrying the *most*
+/// votes, so a crashed agent — suspected by every survivor, and whose
+/// own endpoint suspects everybody — falls first, and its blanket
+/// suspicions are discarded before they can drag a survivor down with
+/// it. Returns the excluded agent indices in ascending order.
+pub fn exclusion_vote(endpoints: &[ReliableEndpoint]) -> Vec<usize> {
+    let n = endpoints.len();
+    let mut excluded = vec![false; n];
+    loop {
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for p in 0..n {
+            if excluded[p] {
+                continue;
+            }
+            let voters: Vec<usize> = (0..n).filter(|&v| v != p && !excluded[v]).collect();
+            let votes = voters
+                .iter()
+                .filter(|&&v| endpoints[v].suspected().get(p).copied().unwrap_or(false))
+                .count();
+            if 2 * votes > voters.len() {
+                candidates.push((votes, p));
+            }
+        }
+        let Some(&(most, _)) = candidates.iter().max() else {
+            break;
+        };
+        for &(votes, p) in &candidates {
+            if votes == most {
+                excluded[p] = true;
+            }
+        }
+    }
+    (0..n).filter(|&p| excluded[p]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delivered(from: usize, payload: Body) -> Delivered<Body> {
+        Delivered {
+            from: NodeId(from),
+            broadcast: false,
+            payload,
+        }
+    }
+
+    fn ack_body(task: usize) -> Body {
+        Body::Disclose {
+            task,
+            f_values: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn sealing_stamps_consecutive_sequence_numbers_per_link() {
+        let mut ep = ReliableEndpoint::new(0, 3, RetryPolicy::default());
+        let wire = ep.seal_outgoing(
+            0,
+            "bidding",
+            vec![
+                (Recipient::Unicast(NodeId(1)), ack_body(0)),
+                (Recipient::Broadcast, ack_body(1)),
+            ],
+        );
+        // Unicast to 1, then broadcast to 1 and 2.
+        assert_eq!(wire.len(), 3);
+        let seqs: Vec<(usize, u64)> = wire
+            .iter()
+            .map(|(to, b)| match b {
+                Body::Sealed { seq, .. } => (to.0, *seq),
+                other => panic!("unsealed {}", other.kind()),
+            })
+            .collect();
+        assert_eq!(seqs, vec![(1, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn inbound_envelopes_release_in_order_and_dedup() {
+        let mut ep = ReliableEndpoint::new(0, 2, RetryPolicy::default());
+        let seal = |seq: u64, task: usize| Body::Sealed {
+            seq,
+            ack: 0,
+            inner: Box::new(ack_body(task)),
+        };
+        // Arrivals out of order: 2 buffers, 1 releases both, dup of 1
+        // is swallowed.
+        let released = ep.process_inbound(vec![delivered(1, seal(2, 22))]);
+        assert!(released.is_empty(), "gap: held for reordering");
+        let released =
+            ep.process_inbound(vec![delivered(1, seal(1, 11)), delivered(1, seal(1, 11))]);
+        let tasks: Vec<Option<usize>> = released.iter().map(|d| d.payload.task()).collect();
+        assert_eq!(tasks, vec![Some(11), Some(22)]);
+        assert_eq!(
+            ep.metrics()
+                .counter(&Key::named("duplicate_deliveries").agent(0).peer(1)),
+            1
+        );
+    }
+
+    #[test]
+    fn unacked_messages_retransmit_with_backoff_then_suspect() {
+        let policy = RetryPolicy {
+            base_timeout: 2,
+            budget: 2,
+        };
+        let mut ep = ReliableEndpoint::new(0, 2, policy);
+        let _ = ep.seal_outgoing(
+            0,
+            "bidding",
+            vec![(Recipient::Unicast(NodeId(1)), ack_body(0))],
+        );
+        // next_retry = 2; backoff doubles: attempt 0 fires at tick 2,
+        // the final attempt at tick 4 ships two back-to-back copies
+        // (the anti-resonance echo), then the budget is exhausted at
+        // the next overdue tick — worst_case_repair() = 2·2² = 8.
+        let mut retransmits = 0;
+        let mut suspected_at = None;
+        for now in 1..=20 {
+            for (_, body) in ep.tick(now, "commitments") {
+                match body {
+                    Body::Sealed { .. } => retransmits += 1,
+                    Body::SuspectDead { peer } => {
+                        assert_eq!(peer, 1);
+                        suspected_at.get_or_insert(now);
+                    }
+                    other => panic!("unexpected {}", other.kind()),
+                }
+            }
+        }
+        assert_eq!(
+            retransmits, 3,
+            "budget bounds the sweep: 1 + the doubled final attempt"
+        );
+        assert_eq!(suspected_at, Some(policy.worst_case_repair()));
+        assert!(ep.suspected()[1]);
+        assert!(ep.is_settled(), "suspicion clears the link");
+        // Further sends to the suspected peer are suppressed.
+        let wire = ep.seal_outgoing(15, "resolution", vec![(Recipient::Broadcast, ack_body(1))]);
+        assert!(wire.is_empty());
+        assert_eq!(ep.metrics().counter_total("suppressed_sends"), 1);
+    }
+
+    #[test]
+    fn acks_stop_retransmission_and_standalone_acks_flush() {
+        let mut ep = ReliableEndpoint::new(0, 2, RetryPolicy::default());
+        let _ = ep.seal_outgoing(
+            0,
+            "bidding",
+            vec![(Recipient::Unicast(NodeId(1)), ack_body(0))],
+        );
+        assert!(!ep.is_settled());
+        // Peer acks seq 1 and sends its own envelope.
+        let released = ep.process_inbound(vec![delivered(
+            1,
+            Body::Sealed {
+                seq: 1,
+                ack: 1,
+                inner: Box::new(ack_body(9)),
+            },
+        )]);
+        assert_eq!(released.len(), 1);
+        assert!(!ep.is_settled(), "an ack is owed");
+        // No outbound traffic: the owed ack flushes standalone.
+        let control = ep.tick(1, "commitments");
+        assert_eq!(control.len(), 1);
+        assert!(matches!(control[0].1, Body::Ack { ack: 1 }));
+        assert!(ep.is_settled());
+        // Nothing further: no retransmissions, no ack storms.
+        for now in 2..40 {
+            assert!(ep.tick(now, "commitments").is_empty());
+        }
+    }
+
+    /// Builds endpoints where each entry of `suspicions` lists who that
+    /// agent suspects.
+    fn endpoints_with(suspicions: &[&[usize]]) -> Vec<ReliableEndpoint> {
+        let n = suspicions.len();
+        suspicions
+            .iter()
+            .enumerate()
+            .map(|(me, suspects)| {
+                let mut ep = ReliableEndpoint::new(me, n, RetryPolicy::default());
+                for &p in *suspects {
+                    ep.suspected[p] = true;
+                }
+                ep
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exclusion_vote_needs_a_strict_majority() {
+        // One confused agent suspecting everyone cannot exclude anybody
+        // (2 of 4 voters is not a strict majority)...
+        let eps = endpoints_with(&[&[1, 2, 3, 4], &[], &[], &[], &[]]);
+        assert!(exclusion_vote(&eps).is_empty());
+        // ...but a crashed agent, suspected by every survivor, falls.
+        let eps = endpoints_with(&[&[4], &[4], &[4], &[4], &[0, 1, 2, 3]]);
+        assert_eq!(exclusion_vote(&eps), vec![4]);
+    }
+
+    #[test]
+    fn exclusion_vote_discards_the_excluded_agents_votes() {
+        // Agent 3 is crashed (suspects everyone, suspected by all). Its
+        // blanket suspicion must not count against the survivors once it
+        // is excluded, even though 0 also suspects 1 (2 of 3 votes
+        // against 1 before the fixpoint discards 3's ballot).
+        let eps = endpoints_with(&[&[1, 3], &[3], &[3], &[0, 1, 2]]);
+        assert_eq!(exclusion_vote(&eps), vec![3]);
+    }
+}

@@ -23,14 +23,15 @@ use crate::config::DmwConfig;
 use crate::error::{AbortReason, DmwError};
 use crate::messages::Body;
 use crate::payment::settle;
+use crate::reliable::{exclusion_vote, ReliableEndpoint, RetryPolicy};
 use crate::strategy::{Behavior, VerificationPolicy};
 use crate::trace::TraceEvent;
-use dmw_mechanism::{AgentId, ExecutionTimes, Schedule};
+use dmw_mechanism::{AgentId, ExecutionTimes, Schedule, TaskId};
 use dmw_obs::{Key, MetricsSink, MetricsSnapshot};
 use dmw_simnet::{
     coalesce, FaultPlan, LockstepTransport, NetworkStats, NodeId, Payload, Recipient, Transport,
 };
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Number of synchronous protocol rounds on the lockstep transport (0–4
@@ -58,6 +59,21 @@ pub struct CompletedOutcome {
 pub enum RunResult {
     /// All live agents completed and agreed.
     Completed(CompletedOutcome),
+    /// Recovery mode only: the survivors excluded unresponsive agents
+    /// (their exhausted retry budgets confirmed by the majority
+    /// exclusion vote) and re-auctioned the affected tasks among
+    /// themselves — graceful degradation instead of an abort, available
+    /// while the excluded count stays within the tolerated `c`.
+    Degraded {
+        /// The salvaged outcome: primary results for untouched tasks,
+        /// survivor re-auction results (at the surviving second price)
+        /// for the rest, payments recomputed over the final schedule.
+        outcome: CompletedOutcome,
+        /// Agents voted out, ascending.
+        excluded: Vec<usize>,
+        /// Tasks re-auctioned among the survivors, ascending.
+        reauctioned_tasks: Vec<usize>,
+    },
     /// The protocol aborted.
     Aborted {
         /// The first-detected reason.
@@ -87,31 +103,50 @@ pub struct DmwRun {
 }
 
 impl DmwRun {
-    /// The completed outcome.
+    /// The completed outcome — of a clean completion or of a degraded
+    /// run (which also carries a full schedule and payment vector).
     ///
     /// # Errors
     ///
-    /// Returns [`DmwError::Aborted`] when the run did not complete.
+    /// Returns [`DmwError::Aborted`] when the run aborted.
     pub fn completed(&self) -> Result<&CompletedOutcome, DmwError> {
         match &self.result {
-            RunResult::Completed(outcome) => Ok(outcome),
+            RunResult::Completed(outcome) | RunResult::Degraded { outcome, .. } => Ok(outcome),
             RunResult::Aborted { reason, .. } => Err(DmwError::Aborted { reason: *reason }),
         }
     }
 
-    /// `true` when the protocol completed.
+    /// The outcome, if the run produced one (cleanly or degraded).
+    pub fn outcome(&self) -> Option<&CompletedOutcome> {
+        match &self.result {
+            RunResult::Completed(outcome) | RunResult::Degraded { outcome, .. } => Some(outcome),
+            RunResult::Aborted { .. } => None,
+        }
+    }
+
+    /// `true` when the protocol completed cleanly (not degraded).
     pub fn is_completed(&self) -> bool {
         matches!(self.result, RunResult::Completed(_))
+    }
+
+    /// `true` when the run ended in graceful degradation.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.result, RunResult::Degraded { .. })
     }
 
     /// The abort reason, if the run aborted.
     pub fn abort_reason(&self) -> Option<AbortReason> {
         match &self.result {
             RunResult::Aborted { reason, .. } => Some(*reason),
-            RunResult::Completed(_) => None,
+            RunResult::Completed(_) | RunResult::Degraded { .. } => None,
         }
     }
 }
+
+/// Seed-domain separator for the survivor re-auction RNG stream, so the
+/// sub-run's parameters derive deterministically from the primary run's
+/// seed without reusing its draws.
+const RECOVERY_SEED_DOMAIN: u64 = 0x5245_4155_4354_4E31;
 
 /// Drives DMW protocol runs under a fixed configuration.
 #[derive(Debug, Clone)]
@@ -122,6 +157,7 @@ pub struct DmwRunner {
     verify_threads: usize,
     round_budget: u64,
     patience: u64,
+    recovery: Option<RetryPolicy>,
 }
 
 impl DmwRunner {
@@ -135,6 +171,7 @@ impl DmwRunner {
             verify_threads: 1,
             round_budget: PROTOCOL_ROUNDS,
             patience: 1,
+            recovery: None,
         }
     }
 
@@ -186,6 +223,30 @@ impl DmwRunner {
     #[must_use]
     pub fn with_patience(mut self, patience: u64) -> Self {
         self.patience = patience.max(1);
+        self
+    }
+
+    /// Enables the reliable-delivery sublayer with the default
+    /// [`RetryPolicy`]: every protocol message travels in a sequenced,
+    /// cumulative-acked [`Body::Sealed`] envelope, lost traffic is
+    /// retransmitted with exponential backoff, and budget-exhausted
+    /// peers are excluded by majority vote with their tasks
+    /// re-auctioned among the survivors ([`RunResult::Degraded`])
+    /// instead of failing the run — while the excluded count stays
+    /// within the tolerated `c`. Patience and the round budget
+    /// auto-scale to the policy's worst-case repair horizon (explicit
+    /// [`DmwRunner::with_patience`] / [`DmwRunner::with_round_budget`]
+    /// values act as floors, never caps). Off by default: the lockstep
+    /// artifacts of the paper reproduction are byte-exact without it.
+    #[must_use]
+    pub fn with_recovery(self) -> Self {
+        self.with_recovery_policy(RetryPolicy::default())
+    }
+
+    /// As [`DmwRunner::with_recovery`], with explicit retry parameters.
+    #[must_use]
+    pub fn with_recovery_policy(mut self, policy: RetryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -293,15 +354,33 @@ impl DmwRunner {
             }
         }
 
+        // In recovery mode, patience must outlast the worst-case repair
+        // horizon (or honest-but-lost traffic is mistaken for silence
+        // and spuriously masked) and the round budget must leave room
+        // for the repaired schedule; explicit settings act as floors.
+        let (patience, round_budget) = match self.recovery {
+            Some(policy) => {
+                let horizon = policy.worst_case_repair() + 2;
+                let patience = self.patience.max(horizon);
+                (patience, self.round_budget.max(patience * 8))
+            }
+            None => (self.patience, self.round_budget),
+        };
         // A node crashed by the fault plan is invisible to the network
         // from its crash round on; its *local* state (it will observe
         // missing traffic and abort) must not be mistaken for a protocol
         // failure when scanning results below.
         let crashed: Vec<bool> = (0..n)
-            .map(|i| transport.faults().is_crashed(NodeId(i), self.round_budget))
+            .map(|i| transport.faults().is_crashed(NodeId(i), round_budget))
             .collect();
 
         let seed: u64 = rng.gen();
+        let mut endpoints: Vec<ReliableEndpoint> = match self.recovery {
+            Some(policy) => (0..n)
+                .map(|i| ReliableEndpoint::new(i, n, policy))
+                .collect(),
+            None => Vec::new(),
+        };
         let mut agents: Vec<DmwAgent> = behaviors
             .iter()
             .copied()
@@ -316,7 +395,7 @@ impl DmwRunner {
                     seed,
                 )
                 .with_verify_width(self.verify_threads)
-                .with_patience(self.patience)
+                .with_patience(patience)
             })
             .collect();
         let mut trace = Vec::new();
@@ -329,6 +408,13 @@ impl DmwRunner {
         loop {
             for (i, agent) in agents.iter_mut().enumerate() {
                 let inbox = transport.take_inbox(NodeId(i));
+                // Recovery mode: the endpoint consumes acks and control
+                // traffic, deduplicates and reorders, and releases the
+                // in-sequence protocol messages the agent should see.
+                let inbox = match endpoints.get_mut(i) {
+                    Some(endpoint) => endpoint.process_inbound(inbox),
+                    None => inbox,
+                };
                 let outgoing = agent.poll(inbox);
                 let outgoing = if self.batching {
                     coalesce(outgoing, Body::Batch)
@@ -336,12 +422,16 @@ impl DmwRunner {
                     outgoing
                 };
                 let phase = agent.acted_phase();
-                for (recipient, body) in outgoing {
+                // Trace and per-phase accounting cover the *logical*
+                // protocol messages — sealing overhead, retransmissions
+                // and acks are metered separately by the endpoints and
+                // the transport.
+                for (recipient, body) in &outgoing {
                     trace.push(TraceEvent::new(
                         round,
                         phase,
                         i,
-                        &recipient,
+                        recipient,
                         body.kind(),
                         body.task(),
                     ));
@@ -361,148 +451,395 @@ impl DmwRunner {
                         Key::named("phase_bytes").phase(phase).agent(i as u32),
                         copies * body.size_bytes() as u64,
                     );
-                    match recipient {
-                        Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
-                        Recipient::Broadcast => transport.broadcast(NodeId(i), body),
+                }
+                match endpoints.get_mut(i) {
+                    Some(endpoint) => {
+                        // Seal after coalescing (the envelope is the
+                        // outermost layer), then run the retransmit
+                        // timers and flush any owed standalone acks.
+                        for (to, body) in endpoint.seal_outgoing(round, phase, outgoing) {
+                            transport.send(NodeId(i), to, body);
+                        }
+                        let label = agent.phase().label();
+                        for (recipient, body) in endpoint.tick(round, label) {
+                            match recipient {
+                                Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
+                                Recipient::Broadcast => transport.broadcast(NodeId(i), body),
+                            }
+                        }
+                    }
+                    None => {
+                        for (recipient, body) in outgoing {
+                            match recipient {
+                                Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
+                                Recipient::Broadcast => transport.broadcast(NodeId(i), body),
+                            }
+                        }
                     }
                 }
             }
             transport.step();
             round += 1;
-            if round >= self.round_budget {
+            if round >= round_budget {
                 break;
             }
-            if transport.is_quiescent() && agents.iter().all(DmwAgent::is_terminal) {
+            if transport.is_quiescent()
+                && agents.iter().all(DmwAgent::is_terminal)
+                && endpoints.iter().all(ReliableEndpoint::is_settled)
+            {
                 break;
             }
         }
 
         // One post-run assembly serves every return path below: the
         // transport's per-link/drop/delay series, the scheduler's
-        // per-phase traffic, and each agent's protocol metrics merge
-        // into a single snapshot; the run length lands as a gauge.
+        // per-phase traffic, each agent's protocol metrics and — in
+        // recovery mode — each endpoint's retransmit/ack/suspicion
+        // series merge into a single snapshot; the run length lands as
+        // a gauge.
         let network = *transport.stats();
         let mut metrics = transport.metrics().clone();
         metrics.absorb(&sched_metrics);
         for agent in &agents {
             metrics.absorb(agent.metrics());
         }
+        for endpoint in &endpoints {
+            metrics.absorb(endpoint.metrics());
+        }
         metrics.gauge_max(Key::named("run_ticks"), round);
 
-        // Any abort (own detection or peer notification) fails the run.
-        let mut detectors = Vec::new();
-        let mut reason = None;
-        for (i, (agent, &is_crashed)) in agents.iter().zip(&crashed).enumerate() {
-            if is_crashed {
-                continue;
-            }
-            if let Some(r) = agent.abort_reason() {
-                if !matches!(r, AbortReason::PeerAborted { .. }) {
-                    detectors.push(i);
-                    reason.get_or_insert(r);
+        let result = 'result: {
+            let unresolvable = || RunResult::Aborted {
+                reason: AbortReason::Unresolvable,
+                detectors: vec![],
+            };
+
+            // Any abort (own detection or peer notification) fails the run.
+            let mut detectors = Vec::new();
+            let mut reason = None;
+            for (i, (agent, &is_crashed)) in agents.iter().zip(&crashed).enumerate() {
+                if is_crashed {
+                    continue;
+                }
+                if let Some(r) = agent.abort_reason() {
+                    if !matches!(r, AbortReason::PeerAborted { .. }) {
+                        detectors.push(i);
+                        reason.get_or_insert(r);
+                    }
                 }
             }
-        }
-        if reason.is_none() {
-            reason = agents
+            if reason.is_none() {
+                reason = agents
+                    .iter()
+                    .zip(&crashed)
+                    .filter(|(_, &is_crashed)| !is_crashed)
+                    .find_map(|(a, _)| a.abort_reason());
+            }
+            if let Some(reason) = reason {
+                break 'result RunResult::Aborted { reason, detectors };
+            }
+
+            // Collect the outcome from the Done agents and assert agreement —
+            // honest agents must have computed identical winners and prices.
+            let done: Vec<&DmwAgent> = agents
                 .iter()
                 .zip(&crashed)
-                .filter(|(_, &is_crashed)| !is_crashed)
-                .find_map(|(a, _)| a.abort_reason());
-        }
-        if let Some(reason) = reason {
-            return Ok(DmwRun {
-                result: RunResult::Aborted { reason, detectors },
-                network,
-                metrics,
-                trace,
-            });
-        }
-
-        // Collect the outcome from the Done agents and assert agreement —
-        // honest agents must have computed identical winners and prices.
-        let done: Vec<&DmwAgent> = agents
-            .iter()
-            .zip(&crashed)
-            .filter(|(a, &is_crashed)| !is_crashed && matches!(a.status(), AgentStatus::Done))
-            .map(|(a, _)| a)
-            .collect();
-        let unresolvable = |trace: Vec<TraceEvent>, metrics: MetricsSnapshot| {
-            Ok(DmwRun {
-                result: RunResult::Aborted {
-                    reason: AbortReason::Unresolvable,
-                    detectors: vec![],
-                },
-                network,
-                metrics,
-                trace,
-            })
-        };
-        let Some(reference) = done.first() else {
-            return unresolvable(trace, metrics);
-        };
-        let mut assignment = Vec::with_capacity(m);
-        let mut first_prices = Vec::with_capacity(m);
-        let mut second_prices = Vec::with_capacity(m);
-        for task in 0..m {
-            // A Done agent has resolved every task; a gap here is an
-            // internal inconsistency and is surfaced as Unresolvable
-            // rather than crashing the harness.
-            let (Some(winner), Some(first), Some(second)) = (
-                reference.winner_of(task),
-                reference.first_price_of(task),
-                reference.second_price_of(task),
-            ) else {
-                return unresolvable(trace, metrics);
+                .filter(|(a, &is_crashed)| !is_crashed && matches!(a.status(), AgentStatus::Done))
+                .map(|(a, _)| a)
+                .collect();
+            let Some(reference) = done.first() else {
+                break 'result unresolvable();
             };
-            for other in &done {
-                if other.behavior().is_suggested() {
-                    assert_eq!(
-                        other.winner_of(task),
-                        Some(winner),
-                        "honest agents disagree on the winner of task {task}"
-                    );
+            let mut assignment = Vec::with_capacity(m);
+            let mut first_prices = Vec::with_capacity(m);
+            let mut second_prices = Vec::with_capacity(m);
+            let mut resolved = true;
+            for task in 0..m {
+                // A Done agent has resolved every task; a gap here is an
+                // internal inconsistency and is surfaced as Unresolvable
+                // rather than crashing the harness.
+                let (Some(winner), Some(first), Some(second)) = (
+                    reference.winner_of(task),
+                    reference.first_price_of(task),
+                    reference.second_price_of(task),
+                ) else {
+                    resolved = false;
+                    break;
+                };
+                for other in &done {
+                    if other.behavior().is_suggested() {
+                        assert_eq!(
+                            other.winner_of(task),
+                            Some(winner),
+                            "honest agents disagree on the winner of task {task}"
+                        );
+                    }
                 }
+                assignment.push(AgentId(winner));
+                first_prices.push(first);
+                second_prices.push(second);
             }
-            assignment.push(AgentId(winner));
-            first_prices.push(first);
-            second_prices.push(second);
-        }
-        let schedule = Schedule::from_assignment(n, assignment)?;
+            if !resolved {
+                break 'result unresolvable();
+            }
+            let schedule = Schedule::from_assignment(n, assignment)?;
 
-        // Phase IV settlement over the submitted claims.
-        let claims: Vec<Vec<u64>> = done
-            .iter()
-            .filter_map(|a| a.claim().map(<[u64]>::to_vec))
-            .collect();
-        let Some(settlement) = settle(&claims) else {
-            return unresolvable(trace, metrics);
-        };
+            // Phase IV settlement over the submitted claims.
+            let claims: Vec<Vec<u64>> = done
+                .iter()
+                .filter_map(|a| a.claim().map(<[u64]>::to_vec))
+                .collect();
+            let Some(settlement) = settle(&claims) else {
+                break 'result unresolvable();
+            };
 
-        Ok(DmwRun {
-            result: RunResult::Completed(CompletedOutcome {
+            RunResult::Completed(CompletedOutcome {
                 schedule,
                 payments: settlement.payments,
                 withheld: settlement.withheld,
                 first_prices,
                 second_prices,
-            }),
+            })
+        };
+
+        // Graceful degradation: when the reliable sublayer gave up on
+        // one or more peers, the survivors vote them out and re-run the
+        // affected auctions among themselves instead of failing the run
+        // (while the excluded count stays within the tolerated `c`).
+        let result = match &self.recovery {
+            Some(_) => {
+                let excluded = exclusion_vote(&endpoints);
+                if excluded.is_empty() {
+                    result
+                } else {
+                    self.degrade(result, excluded, bids, behaviors, seed, &mut metrics)?
+                }
+            }
+            None => result,
+        };
+
+        Ok(DmwRun {
+            result,
             network,
             metrics,
             trace,
         })
     }
+
+    /// Transforms a recovery-mode run whose exclusion vote removed
+    /// `excluded` agents: within the resilience threshold `c`, tasks the
+    /// excluded agents had won (or — after a crash-induced abort — every
+    /// task) are re-auctioned among the survivors on a pristine lockstep
+    /// sub-run whose parameters derive deterministically from the primary
+    /// seed, and the repaired outcome is reported as
+    /// [`RunResult::Degraded`]. Aborts that identify a protocol
+    /// *violation* are preserved — degradation repairs silence, never
+    /// detected deviations — and beyond the threshold the run aborts
+    /// [`AbortReason::Unresolvable`].
+    fn degrade(
+        &self,
+        primary: RunResult,
+        excluded: Vec<usize>,
+        bids: &ExecutionTimes,
+        behaviors: &[Behavior],
+        seed: u64,
+        metrics: &mut MetricsSnapshot,
+    ) -> Result<RunResult, DmwError> {
+        let n = self.config.agents();
+        let m = bids.tasks();
+        let c = self.config.encoding().faults();
+        for &p in &excluded {
+            metrics.incr(Key::named("excluded_agent").agent(p as u32), 1);
+        }
+        if excluded.len() > c {
+            // Above the resilience threshold no re-auction keeps the bid
+            // encoding valid: the existing abort path stands.
+            return Ok(RunResult::Aborted {
+                reason: AbortReason::Unresolvable,
+                detectors: vec![],
+            });
+        }
+        if let RunResult::Aborted { reason, .. } = &primary {
+            let crash_induced = matches!(
+                reason,
+                AbortReason::Unresolvable | AbortReason::TooManyFaults { .. }
+            );
+            if !crash_induced {
+                // A detected deviation (tampered shares, bad lambda, a
+                // disagreeing claim...) zeroes everyone's utility no
+                // matter how many peers also fell silent.
+                return Ok(primary);
+            }
+        }
+
+        // Tasks needing a survivor re-auction: those the excluded agents
+        // had won, or all of them when the primary run never resolved.
+        let affected: Vec<usize> = match &primary {
+            RunResult::Completed(outcome) | RunResult::Degraded { outcome, .. } => (0..m)
+                .filter(|&t| {
+                    outcome
+                        .schedule
+                        .agent_of(TaskId(t))
+                        .is_some_and(|a| excluded.contains(&a.0))
+                })
+                .collect(),
+            RunResult::Aborted { .. } => (0..m).collect(),
+        };
+        metrics.incr(Key::named("degraded_runs"), 1);
+        metrics.incr(Key::named("reauctioned_tasks"), affected.len() as u64);
+        if affected.is_empty() {
+            // The excluded agents had won nothing: the primary outcome
+            // survives untouched.
+            return Ok(match primary {
+                RunResult::Completed(outcome) | RunResult::Degraded { outcome, .. } => {
+                    RunResult::Degraded {
+                        outcome,
+                        excluded,
+                        reauctioned_tasks: vec![],
+                    }
+                }
+                aborted @ RunResult::Aborted { .. } => aborted,
+            });
+        }
+
+        // Salvage the primary results where they exist; affected slots
+        // are overwritten below (an aborted primary marks every task
+        // affected, so its placeholders never survive).
+        let (mut assignment, mut first_prices, mut second_prices) = match &primary {
+            RunResult::Completed(outcome) | RunResult::Degraded { outcome, .. } => (
+                (0..m)
+                    .map(|t| outcome.schedule.agent_of(TaskId(t)).unwrap_or(AgentId(0)))
+                    .collect::<Vec<_>>(),
+                outcome.first_prices.clone(),
+                outcome.second_prices.clone(),
+            ),
+            RunResult::Aborted { .. } => (vec![AgentId(0); m], vec![0; m], vec![0; m]),
+        };
+
+        // The survivor sub-configuration keeps the bid range valid:
+        // `w_max = n − c − 1` is invariant under `(n − x, c − x)`, so
+        // every original bid re-auctions unchanged. The sub-run rides a
+        // pristine lockstep transport: recovery models the re-auction as
+        // happening after the disruption that caused the exclusion has
+        // passed (persistent chaos would simply trigger recovery again).
+        let survivors: Vec<usize> = (0..n).filter(|i| !excluded.contains(i)).collect();
+        let sub_rows: Vec<Vec<u64>> = survivors
+            .iter()
+            .map(|&i| {
+                affected
+                    .iter()
+                    .map(|&t| bids.time(AgentId(i), TaskId(t)))
+                    .collect()
+            })
+            .collect();
+        let sub_bids = ExecutionTimes::from_rows(sub_rows)?;
+        let sub_behaviors: Vec<Behavior> = survivors
+            .iter()
+            .map(|&i| behaviors.get(i).copied().unwrap_or(Behavior::Suggested))
+            .collect();
+        let mut sub_rng = rand::rngs::StdRng::seed_from_u64(seed ^ RECOVERY_SEED_DOMAIN);
+        let sub_config = DmwConfig::generate(survivors.len(), c - excluded.len(), &mut sub_rng)?;
+        let sub_runner = DmwRunner::new(sub_config)
+            .with_policy(self.policy)
+            .with_batching(self.batching)
+            .with_verify_threads(self.verify_threads);
+        let sub_run = sub_runner.run(
+            &sub_bids,
+            &sub_behaviors,
+            FaultPlan::none(survivors.len()),
+            &mut sub_rng,
+        )?;
+        metrics.incr(Key::named("recovery_rounds"), sub_run.network.rounds);
+        metrics.incr(
+            Key::named("recovery_messages"),
+            sub_run.network.point_to_point,
+        );
+        metrics.incr(Key::named("recovery_bytes"), sub_run.network.bytes);
+
+        match sub_run.result {
+            RunResult::Completed(sub) => {
+                for (j, &t) in affected.iter().enumerate() {
+                    let winner = sub
+                        .schedule
+                        .agent_of(TaskId(j))
+                        .and_then(|w| survivors.get(w.0).copied());
+                    let Some(winner) = winner else {
+                        return Ok(RunResult::Aborted {
+                            reason: AbortReason::Unresolvable,
+                            detectors: vec![],
+                        });
+                    };
+                    if let Some(slot) = assignment.get_mut(t) {
+                        *slot = AgentId(winner);
+                    }
+                    if let (Some(slot), Some(&p)) =
+                        (first_prices.get_mut(t), sub.first_prices.get(j))
+                    {
+                        *slot = p;
+                    }
+                    if let (Some(slot), Some(&p)) =
+                        (second_prices.get_mut(t), sub.second_prices.get(j))
+                    {
+                        *slot = p;
+                    }
+                }
+                let schedule = Schedule::from_assignment(n, assignment)?;
+                // Payments recompute wholesale over the final schedule
+                // (winner earns the task's second price), replacing the
+                // primary settlement that still credited excluded agents.
+                let payments: Vec<u64> = (0..n)
+                    .map(|i| {
+                        schedule
+                            .tasks_of(AgentId(i))
+                            .into_iter()
+                            .map(|t| second_prices.get(t.0).copied().unwrap_or(0))
+                            .sum()
+                    })
+                    .collect();
+                Ok(RunResult::Degraded {
+                    outcome: CompletedOutcome {
+                        schedule,
+                        payments,
+                        withheld: vec![false; n],
+                        first_prices,
+                        second_prices,
+                    },
+                    excluded,
+                    reauctioned_tasks: affected,
+                })
+            }
+            // The sub-run never runs in recovery mode, so a Degraded
+            // sub-result is unreachable; treat it as unresolvable
+            // rather than panicking the harness.
+            RunResult::Degraded { .. } => Ok(RunResult::Aborted {
+                reason: AbortReason::Unresolvable,
+                detectors: vec![],
+            }),
+            // A deviating survivor caught during the re-auction still
+            // fails the whole run, with detectors mapped back to the
+            // original agent indices.
+            RunResult::Aborted { reason, detectors } => Ok(RunResult::Aborted {
+                reason,
+                detectors: detectors
+                    .into_iter()
+                    .filter_map(|d| survivors.get(d).copied())
+                    .collect(),
+            }),
+        }
+    }
 }
 
 /// Utility of each agent for a completed run: settled payment minus the
-/// true cost of the tasks it won, in bid units (Definition 6, item 5). For
+/// true cost of the tasks it won, in bid units (Definition 6, item 5). A
+/// degraded run counts the same way over its repaired schedule (excluded
+/// agents hold no tasks and earn nothing, so their utility is zero). For
 /// an aborted run every agent's utility is zero — no tasks are assigned
 /// and no payments are dispensed.
 pub fn utilities(run: &DmwRun, truth: &ExecutionTimes) -> Vec<i128> {
     let n = truth.agents();
-    match &run.result {
-        RunResult::Aborted { .. } => vec![0; n],
-        RunResult::Completed(outcome) => (0..n)
+    match run.outcome() {
+        None => vec![0; n],
+        Some(outcome) => (0..n)
             .map(|i| {
                 let load: u64 = outcome
                     .schedule
@@ -716,6 +1053,163 @@ mod tests {
             sequential.completed().unwrap().schedule,
             parallel.completed().unwrap().schedule
         );
+    }
+
+    #[test]
+    fn recovery_mode_reproduces_the_lossless_outcome_under_loss() {
+        // Same seed, three runs: lossless baseline, periodic loss
+        // (every 3rd transmission), and 10% seeded probabilistic loss —
+        // the ack/retransmit sublayer must repair both chaos schedules
+        // to the identical allocation and payments, without an abort.
+        let bids = ExecutionTimes::from_rows(vec![
+            vec![2, 3],
+            vec![1, 3],
+            vec![3, 1],
+            vec![2, 2],
+            vec![3, 3],
+        ])
+        .unwrap();
+        let outcome_under = |faults: FaultPlan| {
+            let (runner, mut rng) = setup(5, 1, 11);
+            let run = runner
+                .with_recovery()
+                .run(&bids, &[Behavior::Suggested; 5], faults, &mut rng)
+                .unwrap();
+            run
+        };
+        let baseline = outcome_under(FaultPlan::none(5));
+        assert!(baseline.is_completed(), "lossless recovery run completes");
+        let periodic = outcome_under(FaultPlan::none(5).drop_every(3));
+        let probabilistic = outcome_under(FaultPlan::none(5).drop_prob(0.10, 97));
+        for lossy in [&periodic, &probabilistic] {
+            assert!(lossy.is_completed(), "repaired run completes cleanly");
+            assert_eq!(
+                lossy.completed().unwrap(),
+                baseline.completed().unwrap(),
+                "repair is outcome-invariant"
+            );
+        }
+        // The repairs are visible in the metrics.
+        assert!(periodic.metrics.counter_total("retransmissions") > 0);
+        assert!(probabilistic.metrics.counter_total("retransmissions") > 0);
+        assert_eq!(baseline.metrics.counter_total("retransmissions"), 0);
+        assert!(baseline.metrics.counter_total("acks_sent") > 0);
+    }
+
+    #[test]
+    fn early_crash_degrades_without_a_reauction() {
+        // Crashing before bidding keeps the crashed agent's bid out of
+        // the auctions entirely: the survivors still exclude it, but
+        // nothing needs re-running.
+        let bids = ExecutionTimes::from_rows(vec![
+            vec![2, 3],
+            vec![1, 3],
+            vec![3, 1],
+            vec![2, 2],
+            vec![3, 3],
+        ])
+        .unwrap();
+        let (runner, mut rng) = setup(5, 1, 11);
+        let faults = FaultPlan::none(5).crash_at(NodeId(1), 0);
+        let run = runner
+            .with_recovery()
+            .run(&bids, &[Behavior::Suggested; 5], faults, &mut rng)
+            .unwrap();
+        let RunResult::Degraded {
+            excluded,
+            reauctioned_tasks,
+            ..
+        } = &run.result
+        else {
+            panic!("expected degradation, got {:?}", run.result);
+        };
+        assert_eq!(excluded, &vec![1]);
+        assert!(reauctioned_tasks.is_empty());
+    }
+
+    #[test]
+    fn crash_below_threshold_degrades_with_survivor_reauction() {
+        // Agent 1 wins task 0 (bid 1), then crashes after the auction
+        // resolves: the survivors exclude it and re-auction its task
+        // among themselves at the surviving second price.
+        let bids = ExecutionTimes::from_rows(vec![
+            vec![2, 3],
+            vec![1, 3],
+            vec![3, 1],
+            vec![2, 2],
+            vec![3, 3],
+        ])
+        .unwrap();
+        let (runner, mut rng) = setup(5, 1, 11);
+        let faults = FaultPlan::none(5).crash_at(NodeId(1), 4);
+        let run = runner
+            .with_recovery()
+            .run(&bids, &[Behavior::Suggested; 5], faults, &mut rng)
+            .unwrap();
+        let RunResult::Degraded {
+            outcome,
+            excluded,
+            reauctioned_tasks,
+        } = &run.result
+        else {
+            panic!("expected degradation, got {:?}", run.result);
+        };
+        assert!(run.is_degraded());
+        assert_eq!(excluded, &vec![1]);
+        assert_eq!(reauctioned_tasks, &vec![0]);
+        // Survivor bids on task 0: agent 0 → 2, agent 2 → 3, agent 3 →
+        // 2, agent 4 → 3. Winner: agent 0 (first survivor at bid 2),
+        // surviving second price 2. Task 1 keeps its primary result
+        // (agent 2 at second price 2).
+        assert_eq!(outcome.schedule.agent_of(TaskId(0)), Some(AgentId(0)));
+        assert_eq!(outcome.schedule.agent_of(TaskId(1)), Some(AgentId(2)));
+        assert_eq!(outcome.first_prices, vec![2, 1]);
+        assert_eq!(outcome.second_prices, vec![2, 2]);
+        assert_eq!(outcome.payments, vec![2, 0, 2, 0, 0]);
+        assert_eq!(run.metrics.counter_total("degraded_runs"), 1);
+        assert!(run.metrics.counter_total("suspect_dead") > 0);
+        // Degraded utilities count over the repaired schedule.
+        assert_eq!(utilities(&run, &bids), vec![0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn crashes_beyond_threshold_stay_aborted() {
+        let bids = ExecutionTimes::from_rows(vec![
+            vec![2, 3],
+            vec![1, 3],
+            vec![3, 1],
+            vec![2, 2],
+            vec![3, 3],
+        ])
+        .unwrap();
+        let (runner, mut rng) = setup(5, 1, 11);
+        let faults = FaultPlan::none(5)
+            .crash_at(NodeId(1), 0)
+            .crash_at(NodeId(2), 0);
+        let run = runner
+            .with_recovery()
+            .run(&bids, &[Behavior::Suggested; 5], faults, &mut rng)
+            .unwrap();
+        assert_eq!(run.abort_reason(), Some(AbortReason::Unresolvable));
+    }
+
+    #[test]
+    fn recovery_preserves_deviation_detection() {
+        // A tampering agent is still caught when the reliable sublayer
+        // is active — degradation repairs silence, never violations.
+        let (runner, mut rng) = setup(6, 2, 17);
+        let bids = ExecutionTimes::from_rows(vec![vec![2]; 6]).unwrap();
+        let mut behaviors = vec![Behavior::Suggested; 6];
+        behaviors[2] = Behavior::WrongLambda;
+        let run = runner
+            .with_policy(crate::strategy::VerificationPolicy::Full)
+            .with_recovery()
+            .run(&bids, &behaviors, FaultPlan::none(6), &mut rng)
+            .unwrap();
+        assert!(matches!(
+            run.abort_reason(),
+            Some(AbortReason::InvalidLambdaPsi { publisher: 2 })
+        ));
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! L8 fixture: naked retry/resend loops in a reliability-bearing module.
+//! Never compiled; scanned by tests/fixtures.rs as if it lived at
+//! `crates/core/src/reliable.rs`. The three unbudgeted loops must be
+//! caught; the budget-gated sweep at the bottom must stay clean.
+
+pub fn spin_until_acked(msg: &Msg) {
+    loop {
+        resend(msg);
+    }
+}
+
+pub fn nag(msg: &Msg, acked: &bool) {
+    while !*acked {
+        retransmit(msg);
+    }
+}
+
+pub fn reschedule(pending: &mut [Pending], now: u64, timeout: u64) {
+    for p in pending {
+        p.next_retry = now + timeout;
+    }
+}
+
+pub fn budgeted_sweep(pending: &mut [Pending], now: u64, budget: u32) {
+    for p in pending.iter_mut() {
+        if p.attempts >= budget {
+            break;
+        }
+        p.next_retry = now + (4 << p.attempts);
+        p.attempts += 1;
+    }
+}

@@ -16,8 +16,8 @@
 //!
 //! Directive misuse is itself reported as findings under the `allowlist`
 //! rule: unknown rule keys, `allow`s that suppress nothing, missing
-//! justifications, any attempt to allow `L2`/`L3`/`L6`/`L7` (which are
-//! unconditional), and malformed `dmw-lint:` comments.
+//! justifications, any attempt to allow `L2`/`L3`/`L6`/`L7`/`L8` (which
+//! are unconditional), and malformed `dmw-lint:` comments.
 
 use crate::lexer::Comment;
 use crate::rules::Finding;
@@ -26,7 +26,7 @@ use crate::rules::Finding;
 const ALLOWED_KEYS: &[&str] = &["L1", "L1-index", "L4", "L5"];
 
 /// Rule keys that exist but must never be allowlisted.
-const UNWAIVABLE_KEYS: &[&str] = &["L2", "L3", "L6", "L7"];
+const UNWAIVABLE_KEYS: &[&str] = &["L2", "L3", "L6", "L7", "L8"];
 
 /// Keys `allow-file(...)` may name.
 const FILE_SCOPE_KEYS: &[&str] = &["L1-index"];
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn l2_and_l3_cannot_be_allowed() {
-        for key in ["L2", "L3", "L6", "L7"] {
+        for key in ["L2", "L3", "L6", "L7", "L8"] {
             let src = format!("// dmw-lint: allow({key}): please\nlet x = a % b;");
             let out = check(&src, vec![]);
             assert!(

@@ -5,8 +5,9 @@
 //! dispatch, no raw machine arithmetic on field residues, no wildcard
 //! dispatch over protocol enums, no ambient entropy, no truncating casts
 //! in the arithmetic core, no wall-clock reads in the deterministic
-//! crates. This crate enforces them lexically: a small Rust lexer
-//! ([`lexer`]), seven token-pattern rules ([`rules`]) scoped to
+//! crates, no unbudgeted retry loops in the reliability sublayer. This
+//! crate enforces them lexically: a small Rust lexer
+//! ([`lexer`]), eight token-pattern rules ([`rules`]) scoped to
 //! the modules where they are unambiguous, and a justified-allowlist
 //! escape hatch ([`allow`]). See `docs/static_analysis.md` for the rule
 //! catalogue and rationale.
@@ -92,6 +93,12 @@ fn rules_for_path(path: &str) -> Vec<Rule> {
     .any(|prefix| path.starts_with(prefix));
     if in_deterministic {
         out.push(rules::l7);
+    }
+    // The modules that may legitimately drive resends: the agent, its
+    // phases, and the reliable-delivery sublayer itself. Every retry
+    // loop there must be visibly bounded by a budget (L8).
+    if in_phases || ["crates/core/src/agent.rs", "crates/core/src/reliable.rs"].contains(&path) {
+        out.push(rules::l8);
     }
     out
 }

@@ -1,4 +1,4 @@
-//! The seven protocol-invariant rules (L1–L7).
+//! The eight protocol-invariant rules (L1–L8).
 //!
 //! Each rule is a pure function over the token stream of one file (test
 //! modules already stripped) and reports [`Finding`]s with 1-based lines.
@@ -13,7 +13,7 @@ use crate::lexer::{Token, TokenKind};
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`L1` … `L7`, or `allowlist` for directive misuse).
+    /// Rule identifier (`L1` … `L8`, or `allowlist` for directive misuse).
     pub rule: &'static str,
     /// Key an allow directive must name to suppress this finding (`L1`
     /// findings for slice indexing use the narrower `L1-index`).
@@ -544,6 +544,73 @@ pub fn l7(tokens: &[Token]) -> Vec<Finding> {
     out
 }
 
+/// Identifier fragments that mark a loop as retransmission machinery.
+const RETRY_FRAGMENTS: &[&str] = &["retry", "resend", "retransmit"];
+
+/// L8 — no naked retry loops in the reliability-bearing modules
+/// (`agent.rs`, `phases/`, `reliable.rs`): any `loop`/`while`/`for`
+/// whose body touches a retry-family identifier (one containing
+/// `retry`, `resend` or `retransmit`) must also reference a bounded
+/// budget (an identifier containing `budget`) inside that same body.
+/// An unbounded retransmit sweep turns a dead peer into a livelock and
+/// defeats the suspicion/exclusion path, so this is unwaivable — bound
+/// the loop with the `RetryPolicy` budget instead.
+pub fn l8(tokens: &[Token]) -> Vec<Finding> {
+    const LOOP_KEYWORDS: &[&str] = &["loop", "while", "for"];
+    let mentions = |range: &[Token], fragments: &[&str]| {
+        range.iter().any(|t| {
+            t.kind == TokenKind::Ident && {
+                let lower = t.text.to_ascii_lowercase();
+                fragments.iter().any(|f| lower.contains(f))
+            }
+        })
+    };
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !LOOP_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Find the loop body: the first top-level `{` after the keyword,
+        // skipping parenthesized/bracketed groups in the loop header
+        // (closure bodies in an iterator chain live inside parens).
+        let mut j = i + 1;
+        let body_open = loop {
+            match tokens.get(j).map(|n| n.kind) {
+                Some(TokenKind::Punct('(')) => match matching(tokens, j, '(', ')') {
+                    Some(close) => j = close + 1,
+                    None => break None,
+                },
+                Some(TokenKind::Punct('[')) => match matching(tokens, j, '[', ']') {
+                    Some(close) => j = close + 1,
+                    None => break None,
+                },
+                Some(TokenKind::Punct('{')) => break Some(j),
+                Some(TokenKind::Punct(';')) | None => break None,
+                Some(_) => j += 1,
+            }
+        };
+        let Some(open) = body_open else {
+            continue;
+        };
+        let Some(close) = matching(tokens, open, '{', '}') else {
+            continue;
+        };
+        let body = &tokens[open..=close];
+        if mentions(body, RETRY_FRAGMENTS) && !mentions(body, &["budget"]) {
+            out.push(finding(
+                "L8",
+                "L8",
+                t.line,
+                "retry/resend loop without a bounded budget — an unbounded \
+                 retransmit sweep livelocks against a dead peer; gate every \
+                 attempt on the `RetryPolicy` budget"
+                    .to_owned(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,6 +707,53 @@ mod tests {
         assert_eq!(run(l7, "let t = std::time::SystemTime::now();").len(), 1);
         assert!(run(l7, "let s = \"Instant\"; // Instant").is_empty());
         assert!(run(l7, "let instant = elapsed_ticks();").is_empty());
+    }
+
+    #[test]
+    fn l8_catches_naked_retry_loops() {
+        assert_eq!(
+            run(l8, "loop { resend(msg); }").len(),
+            1,
+            "bare resend loop"
+        );
+        assert_eq!(
+            run(l8, "while !acked { retransmit(&msg); wait(); }").len(),
+            1,
+            "unbounded retransmit"
+        );
+        assert_eq!(
+            run(l8, "for m in pending { m.next_retry = now + t; }").len(),
+            1,
+            "retry bookkeeping loop without a budget"
+        );
+    }
+
+    #[test]
+    fn l8_permits_budgeted_loops_and_unrelated_loops() {
+        let budgeted = "
+            for pending in &mut link.unacked {
+                if pending.attempts >= self.policy.budget { break; }
+                retransmit(pending);
+            }
+        ";
+        assert!(run(l8, budgeted).is_empty(), "{:?}", run(l8, budgeted));
+        assert!(run(l8, "for x in items { process(x); }").is_empty());
+        // The retry ident in the header's closure is part of the body
+        // scan only when braced into the body itself; a budgeted chain
+        // stays clean.
+        let chain = "
+            while queue.iter().any(|m| { m.next_retry <= now }) {
+                if attempts >= budget { break; }
+                attempts += 1;
+            }
+        ";
+        assert!(run(l8, chain).is_empty(), "{:?}", run(l8, chain));
+        // Loops inside test modules are stripped like every other rule.
+        let test_only = "
+            #[cfg(test)]
+            mod tests { fn t() { loop { resend(); } } }
+        ";
+        assert!(run(l8, test_only).is_empty());
     }
 
     #[test]

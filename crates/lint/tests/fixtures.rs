@@ -153,6 +153,46 @@ fn l6_fixture_catches_round_dispatch_in_phase_modules() {
 }
 
 #[test]
+fn l8_fixture_catches_naked_retry_loops_in_reliability_modules() {
+    let source = include_str!("../fixtures/l8_retry.rs");
+    for path in [
+        "crates/core/src/reliable.rs",
+        "crates/core/src/agent.rs",
+        "crates/core/src/phases/fixture.rs",
+    ] {
+        let findings = lint_fixture(path, source);
+        assert_eq!(
+            findings.iter().filter(|f| f.rule == "L8").count(),
+            3,
+            "{path}: bare loop + while + retry-bookkeeping for; the \
+             budgeted sweep stays clean: {findings:?}"
+        );
+    }
+    // The scheduler and the transports drive no resends themselves:
+    // L8 is scoped out there.
+    assert!(
+        lint_fixture("crates/core/src/runner.rs", source).is_empty(),
+        "L8 must not police the scheduler"
+    );
+}
+
+#[test]
+fn l8_allows_are_rejected_even_with_justification() {
+    let source = "// dmw-lint: allow(L8): very good reason\nloop { resend(m); }\n";
+    let findings = lint_fixture("crates/core/src/reliable.rs", source);
+    assert!(
+        findings.iter().any(|f| f.rule == "L8"),
+        "the violation survives: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "allowlist" && f.message.contains("cannot be allowlisted")),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean_under_the_strictest_scope() {
     let findings = lint_fixture(
         "crates/crypto/src/fixture.rs",

@@ -13,22 +13,12 @@
 //! arrivals per recipient, probing the protocol's independence from
 //! arrival order *within* a tick.
 
-use crate::faults::FaultPlan;
+use crate::faults::{splitmix64, FaultPlan};
 use crate::network::{classify_loss, record_drop, record_enqueue, Delivered, NodeId, Payload};
 use crate::stats::NetworkStats;
 use crate::transport::Transport;
 use dmw_obs::MetricsSnapshot;
 use std::collections::VecDeque;
-
-/// SplitMix64: the classic 64-bit finalizer-based generator. Self-contained
-/// so the simulator stays free of RNG dependencies and ambient entropy —
-/// every draw is a pure function of the inputs.
-fn splitmix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// The latency model of a [`DelayTransport`]: every message waits
 /// `1 + base + U{0..=jitter}` ticks, the jitter term drawn from a seeded
@@ -165,7 +155,7 @@ impl<M: Payload + Clone> DelayTransport<M> {
         self.stats.point_to_point += 1;
         self.stats.bytes += payload.size_bytes() as u64;
         self.seq += 1;
-        let delay = self.profile.draw(self.seq) + self.faults.link_delay(from, to);
+        let delay = self.profile.draw(self.seq) + self.faults.link_delay_or_zero(from, to);
         record_enqueue(
             &mut self.metrics,
             from,

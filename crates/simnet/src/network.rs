@@ -69,9 +69,10 @@ struct InFlight<M> {
 
 /// Why a transmission was lost at delivery time. Variant order mirrors
 /// the checking precedence shared by both transports (sender crash
-/// before recipient crash before link drop before periodic drop), so
-/// per-cause metrics attribute each loss identically regardless of the
-/// timing model.
+/// before recipient crash, then permanent link drop, transient
+/// partition, flap, periodic schedule, and seeded probabilistic loss
+/// last), so per-cause metrics attribute each loss identically
+/// regardless of the timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum DropCause {
     /// The sender was crashed at the tick it sent.
@@ -80,8 +81,14 @@ pub(crate) enum DropCause {
     RecipientCrashed,
     /// The directed link is configured to drop everything.
     Link,
+    /// A transient-partition window covered the send round.
+    Transient,
+    /// The link's flap schedule was in its dead phase at the send round.
+    Flapping,
     /// The periodic-drop schedule claimed this transmission.
     Periodic,
+    /// The seeded Bernoulli schedule claimed this transmission.
+    Probabilistic,
 }
 
 impl DropCause {
@@ -90,16 +97,24 @@ impl DropCause {
             DropCause::SenderCrashed => "drop_sender_crashed",
             DropCause::RecipientCrashed => "drop_recipient_crashed",
             DropCause::Link => "drop_link",
+            DropCause::Transient => "drop_transient",
+            DropCause::Flapping => "drop_flapping",
             DropCause::Periodic => "drop_periodic",
+            DropCause::Probabilistic => "drop_probabilistic",
         }
     }
 }
 
 /// The single fault-attribution chain both transports evaluate at
 /// delivery time. `seq` is the message's *enqueue-order* sequence
-/// number (1-based), which pins the periodic-drop schedule to logical
-/// messages rather than delivery order — the transport-invariance
-/// contract of [`FaultPlan::is_periodically_dropped`].
+/// number (1-based), which pins the periodic and probabilistic drop
+/// schedules to logical messages rather than delivery order — the
+/// transport-invariance contract of
+/// [`FaultPlan::is_periodically_dropped`] and
+/// [`FaultPlan::is_probabilistically_dropped`]. The round-keyed
+/// schedules (transient windows, flaps) are evaluated against
+/// `sent_round` for the same reason: a message is lost iff the link was
+/// down when it was *sent*, however long it then spends in flight.
 pub(crate) fn classify_loss(
     faults: &FaultPlan,
     from: NodeId,
@@ -114,8 +129,14 @@ pub(crate) fn classify_loss(
         Some(DropCause::RecipientCrashed)
     } else if faults.is_link_dropped(from, to) {
         Some(DropCause::Link)
+    } else if faults.is_transiently_dropped(from, to, sent_round) {
+        Some(DropCause::Transient)
+    } else if faults.is_flapped_down(from, to, sent_round) {
+        Some(DropCause::Flapping)
     } else if faults.is_periodically_dropped(seq) {
         Some(DropCause::Periodic)
+    } else if faults.is_probabilistically_dropped(seq) {
+        Some(DropCause::Probabilistic)
     } else {
         None
     }

@@ -10,13 +10,16 @@
 #      and the protocol-critical modules of `dmw` are policed by dmw-lint
 #   3. cargo doc                  -- rustdoc warnings (broken intra-doc
 #      links, missing docs) are errors
-#   4. dmw-lint                   -- protocol-invariant rules L1-L7
+#   4. dmw-lint                   -- protocol-invariant rules L1-L8
 #   5. cargo build -p dmw-examples --bins
 #                                 -- the example binaries ([[bin]] targets
 #      with autobins off, so plain `cargo build`/`cargo test` skip them)
-#   6. cargo test                 -- full workspace suite (which re-runs
+#   6. fault-matrix smoke         -- the chaos determinism suite (reliable
+#      delivery + graceful degradation over the seeded fault matrix),
+#      isolated so a recovery regression is named before the full suite
+#   7. cargo test                 -- full workspace suite (which re-runs
 #      dmw-lint as an integration test, so CI cannot skip it)
-#   7. bench_batch --smoke        -- the batch engine end-to-end on a tiny
+#   8. bench_batch --smoke        -- the batch engine end-to-end on a tiny
 #      instance, exiting non-zero if thread counts disagree
 #
 # Exits non-zero at the first failing step.
@@ -42,6 +45,9 @@ cargo run --quiet -p dmw-lint
 
 echo "==> cargo build -p dmw-examples --bins"
 cargo build --quiet -p dmw-examples --bins
+
+echo "==> fault-matrix smoke (recovery determinism)"
+cargo test --quiet -p integration-tests --test recovery_determinism
 
 echo "==> cargo test (workspace)"
 cargo test --quiet --workspace
