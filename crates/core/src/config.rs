@@ -96,6 +96,8 @@ impl DmwConfig {
                 ),
             });
         }
+        // HashSet is safe here (dmw-lint L10): membership probes only,
+        // never iterated.
         let mut seen = std::collections::HashSet::new();
         for &a in &pseudonyms {
             if a == 0 || a >= group.q() || !seen.insert(a) {

@@ -20,7 +20,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The confidential identity↔slot binding created at initialization.
 ///
@@ -54,7 +54,7 @@ impl PseudonymDirectory {
     /// assert_eq!(directory.anonymous_count(&[0], &[]), 2);
     /// ```
     pub fn assign<R: Rng + ?Sized>(identities: Vec<String>, rng: &mut R) -> Self {
-        let set: HashSet<&String> = identities.iter().collect();
+        let set: BTreeSet<&String> = identities.iter().collect();
         assert_eq!(set.len(), identities.len(), "identities must be distinct");
         let mut identities = identities;
         identities.shuffle(rng);
@@ -91,15 +91,16 @@ impl PseudonymDirectory {
     /// and the slots of a coalition (who each know their own binding).
     /// Everything not returned remains anonymous.
     pub fn linkable(&self, winner_slots: &[usize], coalition_slots: &[usize]) -> Vec<&str> {
-        let mut slots: Vec<usize> = winner_slots
+        // BTreeSet both dedups and yields the slots in sorted order, so
+        // the linkable set is deterministic without a separate sort.
+        winner_slots
             .iter()
             .chain(coalition_slots)
             .copied()
-            .collect::<HashSet<_>>()
+            .collect::<BTreeSet<_>>()
             .into_iter()
-            .collect();
-        slots.sort_unstable();
-        slots.into_iter().map(|s| self.identity_of(s)).collect()
+            .map(|s| self.identity_of(s))
+            .collect()
     }
 
     /// The number of identities that remain anonymous for that observer.
@@ -125,7 +126,7 @@ mod tests {
     fn assignment_is_a_permutation() {
         let directory = PseudonymDirectory::assign(names(8), &mut rng());
         assert_eq!(directory.len(), 8);
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for slot in 0..8 {
             assert!(seen.insert(directory.identity_of(slot).to_string()));
         }

@@ -13,7 +13,7 @@
 //! to the paper's unanimity.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The outcome of settling payment claims.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,7 +60,13 @@ pub fn settle(claims: &[Vec<u64>]) -> Option<Settlement> {
     let mut payments = Vec::with_capacity(n);
     let mut withheld = Vec::with_capacity(n);
     for i in 0..n {
-        let mut votes: HashMap<u64, usize> = HashMap::new();
+        // BTreeMap, not HashMap: `max_by_key` keeps the *last* maximum,
+        // so a count tie would otherwise resolve by hash-iteration
+        // order. Ordered tallying makes the pre-filter pick the largest
+        // tied value, deterministically — and the strict-majority
+        // filter below withholds every count tie regardless, since two
+        // values cannot both exceed half the claims.
+        let mut votes: BTreeMap<u64, usize> = BTreeMap::new();
         for &value in claims.iter().filter_map(|c| c.get(i)) {
             *votes.entry(value).or_insert(0) += 1;
         }
@@ -105,6 +111,24 @@ mod tests {
             "majority carries the honest value"
         );
         assert!(s.fully_dispensed());
+    }
+
+    #[test]
+    fn count_ties_settle_identically_for_any_claim_order() {
+        // Regression for the old HashMap tally: a 2-2 count tie used to
+        // hand `max_by_key` a hash-ordered candidate stream. Every
+        // permutation of the same claim multiset must now settle
+        // bit-identically (withheld, since no strict majority exists).
+        let orders = [
+            vec![vec![3], vec![7], vec![3], vec![7]],
+            vec![vec![7], vec![3], vec![7], vec![3]],
+            vec![vec![7], vec![7], vec![3], vec![3]],
+            vec![vec![3], vec![3], vec![7], vec![7]],
+        ];
+        let settlements: Vec<Settlement> = orders.iter().map(|c| settle(c).unwrap()).collect();
+        assert!(settlements.iter().all(|s| *s == settlements[0]));
+        assert_eq!(settlements[0].withheld, vec![true]);
+        assert_eq!(settlements[0].payments, vec![0]);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! L10 fixture: iteration over hash-ordered collections.
+//!
+//! Never compiled — linted via `lint_source` under synthetic paths.
+//! Expected in scope: two L10 findings (method-chain iteration and a
+//! bare `for` loop over a hash-typed field) with membership probes and
+//! the waived case staying silent.
+
+// Iteration over a hash-ordered local tally.
+fn tally(claims: &[Vec<u64>]) -> Option<(u64, usize)> {
+    let mut votes: HashMap<u64, usize> = HashMap::new();
+    for &v in claims.iter().flat_map(|c| c.iter()) {
+        *votes.entry(v).or_insert(0) += 1;
+    }
+    votes.into_iter().max_by_key(|&(_, count)| count)
+}
+
+struct Plan {
+    links: HashSet<(usize, usize)>,
+}
+
+impl Plan {
+    // A bare `for` loop over a hash-typed field.
+    fn render(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for l in &self.links {
+            out.push(*l);
+        }
+        out
+    }
+
+    // Membership probes stay legal: only iteration observes order.
+    fn contains(&self, l: (usize, usize)) -> bool {
+        self.links.contains(&l)
+    }
+
+    // The justified escape hatch (L10 is waivable).
+    fn waived(&self) -> usize {
+        // dmw-lint: allow(L10): fixture demonstrates the justified escape hatch
+        self.links.iter().count()
+    }
+}

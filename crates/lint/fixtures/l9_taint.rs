@@ -1,0 +1,42 @@
+//! L9 fixture: secret values reaching serialization sinks.
+//!
+//! Never compiled — linted via `lint_source` under synthetic paths.
+//! Expected in scope: three L9 findings (direct, let-propagated,
+//! source-call) with the sanitized and waived cases staying silent.
+
+// A raw secret parameter reaching a sink constructor.
+fn leak_direct(bid: u64, task: usize) -> Body {
+    Body::Disclose { task, f_values: vec![bid] }
+}
+
+// Taint propagates through a let chain into a sink call.
+fn leak_derived(bid: u64, w: &mut Writer) {
+    let doubled = bid + bid;
+    let boxed = vec![doubled];
+    w.encode(&boxed);
+}
+
+// A declared source *call* feeding a sink call.
+fn leak_source_call(poly: &Poly, w: &mut Writer) {
+    let value = poly.e(3);
+    w.encode(value);
+}
+
+// Sanitized: only committed/masked forms may be serialized, and
+// `share_for` is an approved masking API.
+fn clean_sanitized(polys: &BidPolynomials, zq: &Zq, alpha: u64, task: usize) -> Body {
+    let bundle = polys.share_for(zq, alpha);
+    Body::Shares { task, bundle }
+}
+
+// Public metadata flows to sinks freely.
+fn clean_metadata(task: usize, w: &mut Writer) {
+    let header = task + 1;
+    w.encode(header);
+}
+
+// The justified escape hatch (L9 is waivable).
+fn waived(bid: u64, task: usize) -> Body {
+    // dmw-lint: allow(L9): fixture demonstrates the justified escape hatch
+    Body::Disclose { task, f_values: vec![bid] }
+}

@@ -1,0 +1,128 @@
+//! The checked-in rule configuration (`lint.toml`).
+//!
+//! The L9 secrecy-taint rule is driven by declared *sets* — source
+//! identifiers/types, serialization sinks, approved sanitizers — rather
+//! than hard-coded lists, so reviewing a privacy-surface change means
+//! reviewing a diff of `lint.toml`, not of the analyzer. The workspace
+//! copy at the repo root is embedded at compile time (the lint must work
+//! when invoked on a bare checkout or in the fixture tests, where no
+//! config file is on disk); `lint_workspace` re-reads the on-disk file
+//! when present so local edits take effect without rebuilding.
+
+use crate::toml_lite;
+use std::sync::OnceLock;
+
+/// The workspace `lint.toml`, embedded so the default config is always
+/// available and always in sync with the checked-in file.
+const EMBEDDED: &str = include_str!("../../../lint.toml");
+
+/// Parsed rule configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Path prefixes L9 applies to.
+    pub l9_scope: Vec<String>,
+    /// Identifiers whose value is secret wherever they appear (bind or
+    /// read): raw bids, secret polynomials.
+    pub l9_source_idents: Vec<String>,
+    /// Methods/functions whose *return value* is secret (`.bid()`,
+    /// `.tau()` accessors).
+    pub l9_source_calls: Vec<String>,
+    /// Type heads whose values are secret-bearing wholesale.
+    pub l9_source_types: Vec<String>,
+    /// Call names that serialize their receiver/arguments.
+    pub l9_sink_calls: Vec<String>,
+    /// Constructor names (enum variants, structs) whose fields go to the
+    /// wire or the metrics labels.
+    pub l9_sink_ctors: Vec<String>,
+    /// Call names that transform a secret into a safe-to-serialize form
+    /// (commitments, masked shares, approved disclosures).
+    pub l9_sanitizers: Vec<String>,
+    /// Path prefixes L10 applies to.
+    pub l10_scope: Vec<String>,
+    /// Workspace-relative path of the phase-graph spec (L11).
+    pub l11_spec: String,
+    /// Workspace-relative path of the `Phase` state machine (L11).
+    pub l11_phases_file: String,
+}
+
+impl LintConfig {
+    /// Parses a `lint.toml` source. Every field is required — a config
+    /// that silently defaults is a config that silently stops linting.
+    pub fn parse(src: &str) -> Result<LintConfig, String> {
+        let doc = toml_lite::parse(src)?;
+        let list = |table: &str, key: &str| -> Result<Vec<String>, String> {
+            doc.list(table, key)
+                .map(<[String]>::to_vec)
+                .ok_or_else(|| format!("lint.toml: missing or non-array `[{table}] {key}`"))
+        };
+        let string = |table: &str, key: &str| -> Result<String, String> {
+            doc.str(table, key)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("lint.toml: missing or non-string `[{table}] {key}`"))
+        };
+        Ok(LintConfig {
+            l9_scope: list("l9", "scope")?,
+            l9_source_idents: list("l9", "source_idents")?,
+            l9_source_calls: list("l9", "source_calls")?,
+            l9_source_types: list("l9", "source_types")?,
+            l9_sink_calls: list("l9", "sink_calls")?,
+            l9_sink_ctors: list("l9", "sink_ctors")?,
+            l9_sanitizers: list("l9", "sanitizer_calls")?,
+            l10_scope: list("l10", "scope")?,
+            l11_spec: string("l11", "spec")?,
+            l11_phases_file: string("l11", "phases_file")?,
+        })
+    }
+
+    /// The embedded workspace configuration.
+    pub fn embedded() -> &'static LintConfig {
+        static CONFIG: OnceLock<LintConfig> = OnceLock::new();
+        CONFIG.get_or_init(|| {
+            LintConfig::parse(EMBEDDED).expect("embedded lint.toml is validated by crate tests")
+        })
+    }
+
+    /// True when `path` (workspace-relative) is in the given scope list.
+    pub fn in_scope(scope: &[String], path: &str) -> bool {
+        scope.iter().any(|prefix| path.starts_with(prefix.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_config_parses_and_covers_the_protocol_crates() {
+        let cfg = LintConfig::embedded();
+        assert!(LintConfig::in_scope(
+            &cfg.l9_scope,
+            "crates/core/src/agent.rs"
+        ));
+        assert!(LintConfig::in_scope(
+            &cfg.l9_scope,
+            "crates/crypto/src/polynomials.rs"
+        ));
+        assert!(!LintConfig::in_scope(
+            &cfg.l9_scope,
+            "crates/bench/src/main.rs"
+        ));
+        for c in ["core", "crypto", "simnet", "obs"] {
+            assert!(
+                LintConfig::in_scope(&cfg.l10_scope, &format!("crates/{c}/src/x.rs")),
+                "{c} must be under L10"
+            );
+        }
+        assert!(!LintConfig::in_scope(
+            &cfg.l10_scope,
+            "crates/bench/src/main.rs"
+        ));
+        assert!(cfg.l9_sanitizers.iter().any(|s| s == "commit"));
+        assert_eq!(cfg.l11_spec, "docs/phase_graph.toml");
+    }
+
+    #[test]
+    fn missing_sections_are_hard_errors() {
+        assert!(LintConfig::parse("[l9]\nscope = []\n").is_err());
+    }
+}

@@ -6,20 +6,37 @@
 //! dispatch over protocol enums, no ambient entropy, no truncating casts
 //! in the arithmetic core, no wall-clock reads in the deterministic
 //! crates, no unbudgeted retry loops in the reliability sublayer. This
-//! crate enforces them lexically: a small Rust lexer
-//! ([`lexer`]), eight token-pattern rules ([`rules`]) scoped to
-//! the modules where they are unambiguous, and a justified-allowlist
-//! escape hatch ([`allow`]). See `docs/static_analysis.md` for the rule
+//! crate enforces them in two layers:
+//!
+//! * **lexical** — a small Rust lexer ([`lexer`]), eight token-pattern
+//!   rules L1–L8 ([`rules`]) scoped to the modules where they are
+//!   unambiguous;
+//! * **flow-sensitive** — a token-tree parser ([`parse`]) feeding the
+//!   L9 secrecy-taint and L10 determinism-order passes ([`flow`],
+//!   configured by the checked-in `lint.toml`, see [`config`]) and the
+//!   L11 phase-graph conformance check ([`phase_graph`], against
+//!   `docs/phase_graph.toml`).
+//!
+//! A justified-allowlist escape hatch ([`allow`]) covers the waivable
+//! rules; findings render as human diagnostics or as a stable JSON
+//! report ([`report`]). See `docs/static_analysis.md` for the rule
 //! catalogue and rationale.
 //!
 //! Entry points: [`lint_source`] for one file (used by the fixture
-//! tests), [`lint_workspace`] for the tree walk (used by the CLI and the
-//! tier-1 integration test).
+//! tests), [`lint_workspace`] for the tree walk plus the crate-level
+//! passes (used by the CLI and the tier-1 integration test).
 
 pub mod allow;
+pub mod config;
+pub mod flow;
 pub mod lexer;
+pub mod parse;
+pub mod phase_graph;
+pub mod report;
 pub mod rules;
+pub mod toml_lite;
 
+pub use config::LintConfig;
 pub use rules::Finding;
 
 use std::fs;
@@ -103,14 +120,44 @@ fn rules_for_path(path: &str) -> Vec<Rule> {
     out
 }
 
-/// Lints one file's source as if it lived at `path` (workspace-relative).
-/// Returns surviving findings, including allowlist-misuse findings.
+/// Lints one file's source as if it lived at `path` (workspace-relative),
+/// under the embedded `lint.toml` and without the crate-level L9 sink
+/// summaries. Returns surviving findings, including allowlist-misuse
+/// findings.
 pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    lint_source_with(
+        path,
+        source,
+        LintConfig::embedded(),
+        &flow::SinkSummaries::new(),
+    )
+}
+
+/// [`lint_source`] with an explicit configuration and the sink-like
+/// function summaries derived by the crate-level pass
+/// ([`flow::sink_summaries`]).
+pub fn lint_source_with(
+    path: &str,
+    source: &str,
+    cfg: &LintConfig,
+    extra_sinks: &flow::SinkSummaries,
+) -> Vec<Finding> {
     let (tokens, comments) = lexer::lex(source);
     let tokens = rules::strip_test_regions(&tokens);
     let mut findings = Vec::new();
     for rule in rules_for_path(path) {
         findings.extend(rule(&tokens));
+    }
+    let in_l9 = LintConfig::in_scope(&cfg.l9_scope, path);
+    let in_l10 = LintConfig::in_scope(&cfg.l10_scope, path);
+    if in_l9 || in_l10 {
+        let parsed = parse::parse(&tokens);
+        if in_l9 {
+            findings.extend(flow::l9(&tokens, &parsed, cfg, extra_sinks));
+        }
+        if in_l10 {
+            findings.extend(flow::l10(&tokens, &parsed));
+        }
     }
     let mut parse_errors = Vec::new();
     let directives = allow::parse_directives(&comments, &mut parse_errors);
@@ -140,25 +187,69 @@ impl std::fmt::Display for FileFinding {
 }
 
 /// Lints every `.rs` file under `root` (skipping `SKIP_DIRS`), sorted
-/// by path then line.
+/// by path then line, plus the crate-level passes: L9 sink
+/// summarization across the in-scope crates and the L11 phase-graph
+/// conformance check. A `lint.toml` at `root` overrides the embedded
+/// configuration; a malformed one is a hard error.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileFinding>> {
+    let cfg = match fs::read_to_string(root.join("lint.toml")) {
+        Ok(src) => {
+            LintConfig::parse(&src).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        }
+        Err(_) => LintConfig::embedded().clone(),
+    };
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut out = Vec::new();
+    let mut sources = Vec::new();
     for rel in files {
         let source = fs::read_to_string(root.join(&rel))?;
         let rel_str = rel
             .to_str()
             .map(|s| s.replace('\\', "/"))
             .unwrap_or_default();
-        for finding in lint_source(&rel_str, &source) {
+        sources.push((rel_str, source));
+    }
+
+    // Crate-level L9: derive sink-like functions across every in-scope
+    // file, so taint is caught one call away from the literal sink.
+    let parsed_in_scope: Vec<(parse::ParsedFile, Vec<lexer::Token>)> = sources
+        .iter()
+        .filter(|(path, _)| LintConfig::in_scope(&cfg.l9_scope, path))
+        .map(|(_, src)| {
+            let (tokens, _) = lexer::lex(src);
+            let tokens = rules::strip_test_regions(&tokens);
+            (parse::parse(&tokens), tokens)
+        })
+        .collect();
+    let extra_sinks = flow::sink_summaries(&parsed_in_scope, &cfg);
+
+    let mut out = Vec::new();
+    for (rel_str, source) in &sources {
+        for finding in lint_source_with(rel_str, source, &cfg, &extra_sinks) {
             out.push(FileFinding {
                 path: rel_str.clone(),
                 finding,
             });
         }
     }
+
+    // Crate-level L11: the phase graph against its spec.
+    let spec_src = fs::read_to_string(root.join(&cfg.l11_spec)).ok();
+    let phase_files: Vec<(String, String)> = sources
+        .iter()
+        .filter(|(path, _)| path.starts_with("crates/core/src/phases/"))
+        .cloned()
+        .collect();
+    out.extend(phase_graph::check_sources(
+        &cfg.l11_spec,
+        spec_src.as_deref(),
+        &phase_files,
+    ));
+
+    out.sort_by(|a, b| {
+        (&a.path, a.finding.line, a.finding.rule).cmp(&(&b.path, b.finding.line, b.finding.rule))
+    });
     Ok(out)
 }
 

@@ -1,0 +1,523 @@
+//! A token-tree parser over the [`crate::lexer`] stream — just deep
+//! enough for the flow-sensitive rules.
+//!
+//! The lexer stops at tokens; the L9/L10/L11 rule families need *shape*:
+//! which tokens form a function body, what a local is bound to, which
+//! type a struct field carries, which variants an enum declares. This
+//! module recovers exactly that — items (functions, impl blocks,
+//! structs, enums), parameter lists and field lists with their head
+//! types, and body token ranges — without attempting full Rust syntax.
+//! Everything it cannot classify it skips, so unknown constructs degrade
+//! to "no findings" rather than misparses (the same soundness posture as
+//! the lexer: never misread, prefer under-report).
+//!
+//! The output of [`parse`] is a [`ParsedFile`]: a per-file symbol table
+//! that [`crate::flow`] turns into local type maps, taint states and the
+//! crate-level call graph, and that [`crate::phase_graph`] queries for
+//! the `Phase` enum and its transition arms.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed function (free function or method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Surrounding `impl` type, if the function is a method.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameters in order (`self` receivers appear as a `self` param).
+    pub params: Vec<Binding>,
+    /// Token index range of the body, **inclusive** of both braces.
+    /// `None` for bodiless trait-method signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+/// A named slot with the head identifier of its declared type:
+/// a function parameter or a struct field. For
+/// `links: std::collections::HashSet<(usize, usize)>` the head type is
+/// `HashSet`; references and `mut` are skipped.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Parameter or field name.
+    pub name: String,
+    /// Head identifier of the type, if one could be recovered.
+    pub type_head: Option<String>,
+}
+
+/// One parsed struct with its named fields (tuple and unit structs
+/// contribute no fields).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// Named fields with head types.
+    pub fields: Vec<Binding>,
+}
+
+/// One parsed enum with its variant names.
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// Enum name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+}
+
+/// The per-file symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Every function and method, in source order (nested functions
+    /// included).
+    pub fns: Vec<FnItem>,
+    /// Every struct with named fields.
+    pub structs: Vec<StructItem>,
+    /// Every enum.
+    pub enums: Vec<EnumItem>,
+}
+
+/// Index of the token matching `open` at `start` (which must hold
+/// `open`), or `None` when the file is truncated.
+pub(crate) fn matching(tokens: &[Token], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(start) {
+        if t.kind == TokenKind::Punct(open) {
+            depth += 1;
+        } else if t.kind == TokenKind::Punct(close) {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Skips a generic-argument list starting at the `<` at `i`, returning
+/// the index just past the matching `>`. The one subtlety is `->` inside
+/// function-trait bounds (`F: Fn(u64) -> u64`): its `>` must not close
+/// the list, which the lexer makes visible as a `-` token immediately
+/// before the `>`.
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') => {
+                let arrow = j > 0 && tokens[j - 1].kind == TokenKind::Punct('-');
+                if !arrow {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The head identifier of a type: the last path segment before any
+/// generic arguments, with leading `&`, `mut` and lifetimes skipped.
+/// `&mut std::collections::HashMap<K, V>` → `HashMap`.
+pub(crate) fn type_head(tokens: &[Token]) -> Option<String> {
+    let mut head: Option<String> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('&') | TokenKind::Punct('*') => i += 1,
+            TokenKind::Lifetime => i += 1,
+            TokenKind::Ident if tokens[i].text == "mut" || tokens[i].text == "dyn" => i += 1,
+            TokenKind::Ident => {
+                head = Some(tokens[i].text.clone());
+                // Continue through `::` path segments; stop at generics
+                // or anything else.
+                if tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct(':'))
+                    && tokens.get(i + 2).map(|t| t.kind) == Some(TokenKind::Punct(':'))
+                {
+                    i += 3;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    head
+}
+
+/// Parses one comma-separated binding list (`name: Type, …`) between
+/// `open + 1 .. close` — used for both parameter lists and struct field
+/// bodies. Anything that is not a `name : type` pair at top level (e.g.
+/// tuple patterns, attributes) contributes a binding without a type or
+/// is skipped.
+fn parse_bindings(tokens: &[Token], open: usize, close: usize) -> Vec<Binding> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        // Skip attributes `#[…]` and visibility `pub(…)` prefixes.
+        if tokens[i].kind == TokenKind::Punct('#')
+            && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('['))
+        {
+            i = matching(tokens, i + 1, '[', ']').map_or(close, |c| c + 1);
+            continue;
+        }
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text == "pub" {
+            i += 1;
+            if tokens.get(i).map(|t| t.kind) == Some(TokenKind::Punct('(')) {
+                i = matching(tokens, i, '(', ')').map_or(close, |c| c + 1);
+            }
+            continue;
+        }
+        // Find this binding's segment end: the next top-level comma.
+        let mut j = i;
+        let mut seg_end = close;
+        while j < close {
+            match tokens[j].kind {
+                TokenKind::Punct('(') => j = matching(tokens, j, '(', ')').unwrap_or(close),
+                TokenKind::Punct('[') => j = matching(tokens, j, '[', ']').unwrap_or(close),
+                TokenKind::Punct('{') => j = matching(tokens, j, '{', '}').unwrap_or(close),
+                TokenKind::Punct('<') => {
+                    j = skip_generics(tokens, j).saturating_sub(1);
+                }
+                TokenKind::Punct(',') => {
+                    seg_end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Within the segment: `[mut] [&…] name [: type…]`.
+        let seg = &tokens[i..seg_end];
+        let mut k = 0;
+        while k < seg.len()
+            && (matches!(seg[k].kind, TokenKind::Punct('&') | TokenKind::Punct('_'))
+                || seg[k].kind == TokenKind::Lifetime
+                || (seg[k].kind == TokenKind::Ident && seg[k].text == "mut"))
+        {
+            k += 1;
+        }
+        if let Some(name_tok) = seg.get(k) {
+            if name_tok.kind == TokenKind::Ident {
+                let ty = seg
+                    .iter()
+                    .position(|t| t.kind == TokenKind::Punct(':'))
+                    .map(|c| &seg[c + 1..])
+                    .and_then(type_head);
+                out.push(Binding {
+                    name: name_tok.text.clone(),
+                    type_head: ty,
+                });
+            }
+        }
+        i = seg_end + 1;
+    }
+    out
+}
+
+/// Parses the token stream of one file (test regions already stripped)
+/// into its symbol table.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let mut file = ParsedFile::default();
+    walk(tokens, 0, tokens.len(), None, &mut file);
+    file
+}
+
+/// Recursive item walk over `tokens[start..end]` with the current impl
+/// owner.
+fn walk(tokens: &[Token], start: usize, end: usize, owner: Option<&str>, out: &mut ParsedFile) {
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "fn" => {
+                let Some(name_tok) = tokens.get(i + 1) else {
+                    break;
+                };
+                if name_tok.kind != TokenKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let mut j = i + 2;
+                if tokens.get(j).map(|t| t.kind) == Some(TokenKind::Punct('<')) {
+                    j = skip_generics(tokens, j);
+                }
+                let Some(params_open) = (j..end).find(|&k| tokens[k].kind == TokenKind::Punct('('))
+                else {
+                    i += 1;
+                    continue;
+                };
+                let Some(params_close) = matching(tokens, params_open, '(', ')') else {
+                    break;
+                };
+                let params = parse_bindings(tokens, params_open, params_close);
+                // Body: first top-level `{` after the signature, unless a
+                // `;` (trait signature) comes first.
+                let mut k = params_close + 1;
+                let mut body = None;
+                while k < end {
+                    match tokens[k].kind {
+                        TokenKind::Punct('{') => {
+                            body = matching(tokens, k, '{', '}').map(|c| (k, c));
+                            break;
+                        }
+                        TokenKind::Punct(';') => break,
+                        TokenKind::Punct('<') => k = skip_generics(tokens, k),
+                        _ => k += 1,
+                    }
+                }
+                out.fns.push(FnItem {
+                    name: name_tok.text.clone(),
+                    owner: owner.map(str::to_owned),
+                    line: t.line,
+                    params,
+                    body,
+                });
+                // Continue *inside* the body too (nested fns/closures
+                // contribute their own entries); advance past the header.
+                i = match body {
+                    Some((open, _)) => open + 1,
+                    None => k + 1,
+                };
+            }
+            "impl" => {
+                // Header runs to the body `{`; the owner type is the
+                // segment after `for` when present, else the first type
+                // ident after `impl`.
+                let Some(body_open) =
+                    (i + 1..end).find(|&k| tokens[k].kind == TokenKind::Punct('{'))
+                else {
+                    break;
+                };
+                let header = &tokens[i + 1..body_open];
+                let after_for = header
+                    .iter()
+                    .position(|t| t.kind == TokenKind::Ident && t.text == "for")
+                    .map(|p| &header[p + 1..]);
+                let owner_name = after_for
+                    .and_then(type_head)
+                    .or_else(|| skip_header_generics_head(header));
+                let Some(body_close) = matching(tokens, body_open, '{', '}') else {
+                    break;
+                };
+                walk(
+                    tokens,
+                    body_open + 1,
+                    body_close,
+                    owner_name.as_deref(),
+                    out,
+                );
+                i = body_close + 1;
+            }
+            "struct" => {
+                let Some(name_tok) = tokens.get(i + 1) else {
+                    break;
+                };
+                if name_tok.kind != TokenKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                // Walk to `{` (fields), `(` (tuple — skip) or `;` (unit).
+                let mut j = i + 2;
+                if tokens.get(j).map(|t| t.kind) == Some(TokenKind::Punct('<')) {
+                    j = skip_generics(tokens, j);
+                }
+                let mut fields = Vec::new();
+                while j < end {
+                    match tokens[j].kind {
+                        TokenKind::Punct('{') => {
+                            if let Some(close) = matching(tokens, j, '{', '}') {
+                                fields = parse_bindings(tokens, j, close);
+                                j = close;
+                            }
+                            break;
+                        }
+                        TokenKind::Punct('(') => {
+                            j = matching(tokens, j, '(', ')').unwrap_or(end);
+                            break;
+                        }
+                        TokenKind::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                out.structs.push(StructItem {
+                    name: name_tok.text.clone(),
+                    fields,
+                });
+                i = j + 1;
+            }
+            "enum" => {
+                let Some(name_tok) = tokens.get(i + 1) else {
+                    break;
+                };
+                if name_tok.kind != TokenKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let Some(body_open) =
+                    (i + 2..end).find(|&k| tokens[k].kind == TokenKind::Punct('{'))
+                else {
+                    break;
+                };
+                let Some(body_close) = matching(tokens, body_open, '{', '}') else {
+                    break;
+                };
+                let variants = parse_variants(tokens, body_open, body_close);
+                out.enums.push(EnumItem {
+                    name: name_tok.text.clone(),
+                    variants,
+                    line: t.line,
+                });
+                i = body_close + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// The head type of an `impl` header that has no `for` clause:
+/// `impl<T> Name<T>` → `Name`. Skips the leading generic parameter list.
+fn skip_header_generics_head(header: &[Token]) -> Option<String> {
+    let mut i = 0;
+    if header.first().map(|t| t.kind) == Some(TokenKind::Punct('<')) {
+        i = skip_generics(header, 0);
+    }
+    type_head(header.get(i..)?)
+}
+
+/// Variant names of an enum body: the first identifier of each
+/// top-level comma-separated segment, attributes skipped.
+fn parse_variants(tokens: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    let mut expecting_name = true;
+    while i < close {
+        match tokens[i].kind {
+            TokenKind::Punct('#')
+                if tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('[')) =>
+            {
+                i = matching(tokens, i + 1, '[', ']').map_or(close, |c| c + 1);
+            }
+            TokenKind::Punct('(') => i = matching(tokens, i, '(', ')').map_or(close, |c| c + 1),
+            TokenKind::Punct('{') => i = matching(tokens, i, '{', '}').map_or(close, |c| c + 1),
+            TokenKind::Punct(',') => {
+                expecting_name = true;
+                i += 1;
+            }
+            TokenKind::Ident if expecting_name => {
+                out.push(tokens[i].text.clone());
+                expecting_name = false;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&lex(src).0)
+    }
+
+    #[test]
+    fn functions_params_and_bodies_are_recovered() {
+        let f = parsed(
+            "fn settle(claims: &[Vec<u64>], n: usize) -> Option<S> { inner(); }\n\
+             fn sig_only(x: u64);",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "settle");
+        assert_eq!(f.fns[0].params.len(), 2);
+        assert_eq!(f.fns[0].params[0].name, "claims");
+        assert_eq!(f.fns[0].params[1].type_head.as_deref(), Some("usize"));
+        assert!(f.fns[0].body.is_some());
+        assert!(f.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn fn_trait_bounds_in_generics_do_not_steal_the_param_list() {
+        let f = parsed("fn apply<F: Fn(u64) -> u64>(x: u64, op: F) -> u64 { op(x) }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].params.len(), 2);
+        assert_eq!(f.fns[0].params[0].name, "x");
+        assert_eq!(f.fns[0].params[1].name, "op");
+    }
+
+    #[test]
+    fn impl_blocks_attribute_methods_to_their_owner() {
+        let f = parsed(
+            "impl Payload for Body { fn size_bytes(&self) -> usize { 0 } }\n\
+             impl<T> Holder<T> { fn get(&self) -> &T { &self.0 } }",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].owner.as_deref(), Some("Body"));
+        assert_eq!(f.fns[1].owner.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn struct_fields_carry_head_types_through_paths_and_refs() {
+        let f = parsed(
+            "pub struct FaultPlan { crashes: Vec<Option<u64>>, \
+             dropped_links: std::collections::HashSet<(usize, usize)> }",
+        );
+        assert_eq!(f.structs.len(), 1);
+        let fields = &f.structs[0].fields;
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].type_head.as_deref(), Some("Vec"));
+        assert_eq!(fields[1].type_head.as_deref(), Some("HashSet"));
+    }
+
+    #[test]
+    fn enum_variants_are_listed_in_order() {
+        let f = parsed(
+            "#[derive(Debug)] pub enum Phase { Bidding, Commitments { n: usize }, \
+             Resolution(u64), Claimed }",
+        );
+        assert_eq!(f.enums.len(), 1);
+        assert_eq!(f.enums[0].name, "Phase");
+        assert_eq!(
+            f.enums[0].variants,
+            vec!["Bidding", "Commitments", "Resolution", "Claimed"]
+        );
+    }
+
+    #[test]
+    fn nested_functions_are_found() {
+        let f = parsed("fn outer() { fn inner(y: u64) -> u64 { y } inner(1); }");
+        let names: Vec<&str> = f.fns.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn type_head_sees_through_references_and_paths() {
+        let heads: Vec<Option<String>> = [
+            "&mut std::collections::HashMap<K, V>",
+            "HashSet<(usize, usize)>",
+            "&'a [u64]",
+            "Vec<Vec<u64>>",
+        ]
+        .iter()
+        .map(|src| type_head(&lex(src).0))
+        .collect();
+        assert_eq!(heads[0].as_deref(), Some("HashMap"));
+        assert_eq!(heads[1].as_deref(), Some("HashSet"));
+        assert_eq!(heads[2], None);
+        assert_eq!(heads[3].as_deref(), Some("Vec"));
+    }
+}

@@ -225,6 +225,147 @@ fn stripping_the_justification_revives_the_finding() {
     );
 }
 
+// ---------------------------------------------------------------------
+// The flow-sensitive families: L9, L10 and L11.
+// ---------------------------------------------------------------------
+
+#[test]
+fn l9_fixture_catches_direct_derived_and_source_call_leaks() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/l9_taint.rs"),
+    );
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "L9").count(),
+        3,
+        "direct + let-propagated + source-call; sanitized and waived \
+         stay silent: {findings:?}"
+    );
+}
+
+#[test]
+fn l9_scope_pins_the_secrecy_crates() {
+    let source = include_str!("../fixtures/l9_taint.rs");
+    // In scope: the protocol core and the crypto layer.
+    for path in ["crates/core/src/fixture.rs", "crates/crypto/src/fixture.rs"] {
+        let findings = lint_fixture(path, source);
+        assert_eq!(
+            findings.iter().filter(|f| f.rule == "L9").count(),
+            3,
+            "{path}: {findings:?}"
+        );
+    }
+    // Out of scope: simnet (L10-only territory) and the bench harness.
+    // The fixture's allow(L9) then goes unused, which is itself reported.
+    for path in [
+        "crates/simnet/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+    ] {
+        let findings = lint_fixture(path, source);
+        assert!(
+            findings.iter().all(|f| f.rule != "L9"),
+            "{path}: L9 must not fire out of scope: {findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "allowlist" && f.message.contains("unused")),
+            "{path}: the unused allow is reported: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn l10_fixture_catches_iteration_not_membership() {
+    let findings = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/l10_order.rs"),
+    );
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "L10").count(),
+        2,
+        "method-chain + for-loop; membership and waived stay silent: {findings:?}"
+    );
+}
+
+#[test]
+fn l10_scope_pins_the_deterministic_crates() {
+    let source = include_str!("../fixtures/l10_order.rs");
+    for path in [
+        "crates/core/src/fixture.rs",
+        "crates/crypto/src/fixture.rs",
+        "crates/simnet/src/fixture.rs",
+        "crates/obs/src/fixture.rs",
+    ] {
+        let findings = lint_fixture(path, source);
+        assert_eq!(
+            findings.iter().filter(|f| f.rule == "L10").count(),
+            2,
+            "{path}: {findings:?}"
+        );
+    }
+    for path in [
+        "crates/bench/src/fixture.rs",
+        "crates/modmath/src/fixture.rs",
+    ] {
+        let findings = lint_fixture(path, source);
+        assert!(
+            findings.iter().all(|f| f.rule != "L10"),
+            "{path}: L10 must not fire out of scope: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn l11_real_spec_matches_the_real_phase_machine() {
+    let out = dmw_lint::phase_graph::check_sources(
+        "docs/phase_graph.toml",
+        Some(include_str!("../../../docs/phase_graph.toml")),
+        &[(
+            "crates/core/src/phases/mod.rs".to_owned(),
+            include_str!("../../core/src/phases/mod.rs").to_owned(),
+        )],
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn l11_denies_an_undeclared_transition_injected_into_the_real_code() {
+    let drifted = include_str!("../../core/src/phases/mod.rs").replace(
+        "Phase::SecondPrice => Phase::Claimed,",
+        "Phase::SecondPrice => Phase::Bidding,",
+    );
+    assert_ne!(drifted, include_str!("../../core/src/phases/mod.rs"));
+    let out = dmw_lint::phase_graph::check_sources(
+        "docs/phase_graph.toml",
+        Some(include_str!("../../../docs/phase_graph.toml")),
+        &[("crates/core/src/phases/mod.rs".to_owned(), drifted)],
+    );
+    assert!(
+        out.iter()
+            .any(|f| f.finding.message.contains("undeclared transition")),
+        "{out:?}"
+    );
+    assert!(
+        out.iter().any(|f| f.finding.message.contains("spec drift")),
+        "the removed edge is reported from the spec side too: {out:?}"
+    );
+}
+
+#[test]
+fn l11_allows_are_rejected_even_with_justification() {
+    // L11 is unwaivable: the spec file is the escape hatch, so an allow
+    // directive is itself a finding wherever it appears.
+    let source = "// dmw-lint: allow(L11): very good reason\nfn f() {}\n";
+    let findings = lint_fixture("crates/core/src/phases/fixture.rs", source);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "allowlist" && f.message.contains("cannot be allowlisted")),
+        "{findings:?}"
+    );
+}
+
 #[test]
 fn l2_and_l3_allows_are_rejected_even_with_justification() {
     let source = "// dmw-lint: allow(L2): very good reason\nlet x = a % b;\n";

@@ -12,7 +12,7 @@
 
 use crate::network::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// SplitMix64: the classic 64-bit finalizer-based generator.
 /// Self-contained so the simulator stays free of RNG dependencies and
@@ -61,7 +61,7 @@ pub struct FaultPlan {
     /// it.
     crashes: Vec<Option<u64>>,
     /// Ordered pairs `(from, to)` whose messages are silently dropped.
-    dropped_links: HashSet<(usize, usize)>,
+    dropped_links: BTreeSet<(usize, usize)>,
     /// Drop every `k`-th transmitted message (deterministic lossy
     /// network; `None` = lossless).
     drop_every: Option<u64>,
@@ -355,9 +355,9 @@ impl FaultPlan {
             }
         }
         out.push_str("],\"dropped_links\":[");
-        let mut links: Vec<(usize, usize)> = self.dropped_links.iter().copied().collect();
-        links.sort_unstable();
-        for (i, (f, t)) in links.iter().enumerate() {
+        // BTreeSet iterates in sorted order, which is exactly the
+        // canonical-JSON order this format requires.
+        for (i, (f, t)) in self.dropped_links.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }

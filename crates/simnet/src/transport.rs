@@ -94,6 +94,9 @@ pub fn coalesce<M>(
     mut merge: impl FnMut(Vec<M>) -> M,
 ) -> Vec<(Recipient, M)> {
     let mut groups: Vec<(Recipient, Vec<M>)> = Vec::new();
+    // HashMap is safe here (dmw-lint L10): `slots` is only ever probed
+    // by key, never iterated — output order comes from `groups`, which
+    // preserves first-occurrence order.
     let mut slots: HashMap<Recipient, usize> = HashMap::new();
     for (recipient, payload) in outgoing {
         match slots.get(&recipient) {

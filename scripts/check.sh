@@ -10,7 +10,11 @@
 #      and the protocol-critical modules of `dmw` are policed by dmw-lint
 #   3. cargo doc                  -- rustdoc warnings (broken intra-doc
 #      links, missing docs) are errors
-#   4. dmw-lint                   -- protocol-invariant rules L1-L8
+#   4. dmw-lint                   -- protocol-invariant rules L1-L11
+#      (lexical L1-L8 plus flow-sensitive L9 secrecy-taint, L10
+#      determinism-order and L11 phase-graph conformance), then the
+#      stable JSON report is regenerated and compared against the
+#      committed docs/lint_report.json -- a stale report fails the gate
 #   5. cargo build -p dmw-examples --bins
 #                                 -- the example binaries ([[bin]] targets
 #      with autobins off, so plain `cargo build`/`cargo test` skip them)
@@ -42,6 +46,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --quiet --no-deps
 
 echo "==> dmw-lint"
 cargo run --quiet -p dmw-lint
+
+echo "==> dmw-lint --format json (report drift)"
+mkdir -p target
+cargo run --quiet -p dmw-lint -- --format json --out target/lint_report.json
+if ! cmp -s target/lint_report.json docs/lint_report.json; then
+    echo "docs/lint_report.json is stale; regenerate with:" >&2
+    echo "  cargo run -p dmw-lint -- --format json --out docs/lint_report.json" >&2
+    exit 1
+fi
 
 echo "==> cargo build -p dmw-examples --bins"
 cargo build --quiet -p dmw-examples --bins

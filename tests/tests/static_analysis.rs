@@ -1,21 +1,31 @@
 //! Tier-1 enforcement of the protocol-invariant lints: `cargo test` fails
-//! if any workspace source violates rules L1–L5 (see
+//! if any workspace source violates rules L1–L11 (see
 //! `docs/static_analysis.md`), so a violation cannot merge even when the
-//! `scripts/check.sh` gate is skipped.
+//! `scripts/check.sh` gate is skipped. Alongside the clean-workspace
+//! assertion, this suite pins the *other* direction: an injected
+//! violation per flow-sensitive family (L9, L10, L11) must fail, and the
+//! committed JSON report must match the workspace byte for byte.
 
-use std::path::Path;
+use std::fs;
+use std::path::{Path, PathBuf};
 
-#[test]
-fn workspace_has_no_lint_violations() {
+fn workspace_root() -> PathBuf {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
-        .expect("tests/ lives one level below the workspace root");
+        .expect("tests/ lives one level below the workspace root")
+        .to_path_buf();
     assert!(
         root.join("Cargo.toml").exists(),
         "workspace root not found at {}",
         root.display()
     );
-    let findings = dmw_lint::lint_workspace(root).expect("workspace sources are readable");
+    root
+}
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let findings =
+        dmw_lint::lint_workspace(&workspace_root()).expect("workspace sources are readable");
     assert!(
         findings.is_empty(),
         "dmw-lint found {} violation(s):\n{}",
@@ -25,5 +35,68 @@ fn workspace_has_no_lint_violations() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+#[test]
+fn an_injected_l9_violation_fails() {
+    let findings = dmw_lint::lint_source(
+        "crates/core/src/injected.rs",
+        "fn leak(bid: u64, task: usize) -> Body { \
+         Body::Disclose { task, f_values: vec![bid] } }",
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "L9"),
+        "a raw bid reaching a sink constructor must be denied: {findings:?}"
+    );
+}
+
+#[test]
+fn an_injected_l10_violation_fails() {
+    let findings = dmw_lint::lint_source(
+        "crates/core/src/injected.rs",
+        "fn f(m: &HashMap<u64, u64>) -> u64 { m.values().sum() }",
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "L10"),
+        "HashMap iteration in a deterministic crate must be denied: {findings:?}"
+    );
+}
+
+#[test]
+fn a_transition_added_without_a_spec_update_fails() {
+    let root = workspace_root();
+    let spec = fs::read_to_string(root.join("docs/phase_graph.toml")).expect("spec readable");
+    let phases =
+        fs::read_to_string(root.join("crates/core/src/phases/mod.rs")).expect("phases readable");
+    // Drop a declared edge from the spec: the (unchanged) code edge is
+    // now an undeclared transition — exactly what adding a transition
+    // without a spec edit looks like from the spec's point of view.
+    let drifted = spec.replace("\"SecondPrice -> Claimed\",", "");
+    assert_ne!(drifted, spec, "the edge under test exists in the spec");
+    let out = dmw_lint::phase_graph::check_sources(
+        "docs/phase_graph.toml",
+        Some(&drifted),
+        &[("crates/core/src/phases/mod.rs".to_owned(), phases)],
+    );
+    assert!(
+        out.iter()
+            .any(|f| f.finding.rule == "L11"
+                && f.finding.message.contains("undeclared transition")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn committed_lint_report_matches_the_workspace() {
+    let root = workspace_root();
+    let findings = dmw_lint::lint_workspace(&root).expect("workspace sources are readable");
+    let fresh = dmw_lint::report::to_json(&findings);
+    let committed =
+        fs::read_to_string(root.join("docs/lint_report.json")).expect("committed report exists");
+    assert_eq!(
+        fresh, committed,
+        "docs/lint_report.json is stale; regenerate with \
+         `cargo run -p dmw-lint -- --format json --out docs/lint_report.json`"
     );
 }
