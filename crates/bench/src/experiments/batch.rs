@@ -89,7 +89,8 @@ pub struct Baseline {
     /// Whole-batch traffic, aggregated over every trial.
     pub traffic: NetworkStats,
     /// Deterministic `dmw-obs` metrics, aggregated over every trial —
-    /// the source of the schema-v2 per-phase breakdown.
+    /// the source of the per-phase breakdown (added in schema v2, kept
+    /// by the current `dmw-bench-batch/v3`).
     pub metrics: MetricsSnapshot,
 }
 
@@ -194,7 +195,7 @@ fn equal_outcomes(a: &[Result<DmwRun, DmwError>], b: &[Result<DmwRun, DmwError>]
         })
 }
 
-/// The per-phase rows of the schema-v2 breakdown: every phase that
+/// The per-phase rows of the `phases` breakdown (schema v2+): every phase that
 /// recorded messages, bytes or dwell ticks, in deterministic (sorted)
 /// phase-label order, with the three counters summed over all agents.
 fn phase_breakdown(metrics: &MetricsSnapshot) -> Vec<(&'static str, u64, u64, u64)> {

@@ -13,6 +13,7 @@ pub mod faithfulness;
 pub mod false_positive;
 pub mod fig2;
 pub mod privacy;
+pub mod scale;
 pub mod truthfulness;
 pub mod voluntary;
 

@@ -164,8 +164,17 @@ pub struct DmwAgent {
     pub(crate) verify_width: usize,
     /// Current phase of the typed state machine.
     pub(crate) phase: Phase,
-    /// Polls spent waiting in the current phase.
-    pub(crate) ticks_in_phase: u64,
+    /// First tick whose poll counts toward the current phase's dwell
+    /// and patience accounting: `0` at construction, `act_tick + 1`
+    /// after each act. Keeping the *entry tick* instead of a per-poll
+    /// counter is what lets the event-driven scheduler skip idle ticks
+    /// without disturbing patience arithmetic — a poll at tick `now`
+    /// has waited `now + 1 − phase_entered` ticks whether or not the
+    /// ticks in between were ever polled (see `docs/scheduler.md`).
+    pub(crate) phase_entered: u64,
+    /// Clock for the tick-free [`DmwAgent::poll`] convenience wrapper;
+    /// advanced past `now` by every [`DmwAgent::poll_at`].
+    auto_now: u64,
     /// Ticks a phase may wait for message completeness before acting on
     /// whatever arrived. `1` (the default) acts at the first poll after
     /// entering a phase — the classic lockstep schedule.
@@ -236,7 +245,8 @@ impl DmwAgent {
             claim: None,
             verify_width: 1,
             phase: Phase::Bidding,
-            ticks_in_phase: 0,
+            phase_entered: 0,
+            auto_now: 0,
             patience: 1,
             acted_phase: Phase::Bidding.label(),
             metrics: MetricsSnapshot::default(),
@@ -476,12 +486,30 @@ impl DmwAgent {
         }
     }
 
-    /// Advances one scheduler tick. Consumes the tick's inbox through the
-    /// shared ingress path; the current phase acts when its expected
-    /// messages are complete (`phases::ready`) or the patience budget
-    /// expires. Returns the messages to transmit; a non-`Running` agent
-    /// emits nothing.
+    /// Advances one scheduler tick without an explicit tick number: each
+    /// call is one tick after the previous one (starting at tick `0`).
+    /// Exactly [`DmwAgent::poll_at`] on the agent's own clock — the
+    /// convenience form for drivers that poll every tick.
     pub fn poll(&mut self, inbox: Vec<Delivered<Body>>) -> Vec<(Recipient, Body)> {
+        let now = self.auto_now;
+        self.poll_at(now, inbox)
+    }
+
+    /// Runs the agent's scheduler activation for tick `now`. Consumes
+    /// the tick's inbox through the shared ingress path; the current
+    /// phase acts when its expected messages are complete
+    /// (`phases::ready`) or the patience budget expires. Returns the
+    /// messages to transmit; a non-`Running` agent emits nothing.
+    ///
+    /// Dwell and patience accounting are functions of `now` and the
+    /// phase's entry tick, not of how often the agent was polled, so an
+    /// event-driven scheduler may skip ticks on which
+    /// [`DmwAgent::next_wake`] promises the agent would not act: the
+    /// activation at the next event tick behaves bit-identically to a
+    /// poll-every-tick schedule. Ticks must be non-decreasing across
+    /// calls, with at most one call per tick.
+    pub fn poll_at(&mut self, now: u64, inbox: Vec<Delivered<Body>>) -> Vec<(Recipient, Body)> {
+        self.auto_now = now + 1;
         let mut out = Vec::new();
         if !self.ingest(inbox) {
             return out;
@@ -489,14 +517,17 @@ impl DmwAgent {
         if self.phase == Phase::Claimed {
             return out;
         }
-        self.ticks_in_phase += 1;
+        // How long the current phase has waited, counting this tick —
+        // identical to a counter incremented once per tick by a
+        // poll-every-tick scheduler.
+        let waited = now + 1 - self.phase_entered;
         let ready = phases::ready(self);
-        if ready || self.ticks_in_phase >= self.patience {
+        if ready || waited >= self.patience {
             self.acted_phase = self.phase.label();
             let dwell = Key::named("phase_dwell_ticks")
                 .phase(self.acted_phase)
                 .agent(self.metric_agent());
-            self.metrics.incr(dwell, self.ticks_in_phase);
+            self.metrics.incr(dwell, waited);
             if !ready {
                 // Acting because the budget ran out, not because the
                 // phase's expected messages were complete.
@@ -507,9 +538,34 @@ impl DmwAgent {
             }
             phases::act(self, &mut out);
             self.phase = self.phase.next();
-            self.ticks_in_phase = 0;
+            self.phase_entered = now + 1;
         }
         out
+    }
+
+    /// The next tick at which polling this agent could do anything a
+    /// skipped empty poll would not: the tick its patience budget
+    /// expires, or the very next tick when the current phase's inputs
+    /// are already complete (it would act immediately — the cascade
+    /// after an act whose successor phase is already satisfied).
+    /// `None` for agents that can make no further local progress
+    /// (terminal, or resting in `Claimed`); deliveries can still wake
+    /// them — the scheduler unions this with the transport's and the
+    /// reliable endpoints' own event horizons.
+    ///
+    /// Between activations an agent's state only changes through
+    /// [`DmwAgent::poll_at`], so a tick `t` with no delivery and
+    /// `t < next_wake()` is guaranteed to be an empty poll — the
+    /// skipping contract `tests/tests/event_parity.rs` pins.
+    pub fn next_wake(&self) -> Option<u64> {
+        if self.is_terminal() || self.phase == Phase::Claimed {
+            return None;
+        }
+        if phases::ready(self) {
+            Some(self.phase_entered)
+        } else {
+            Some(self.phase_entered + self.patience - 1)
+        }
     }
 }
 

@@ -85,5 +85,5 @@ pub mod trace;
 
 pub use config::DmwConfig;
 pub use error::DmwError;
-pub use runner::{CompletedOutcome, DmwRun, DmwRunner, RunResult};
+pub use runner::{CompletedOutcome, DmwRun, DmwRunner, Engine, RunResult};
 pub use strategy::{Behavior, VerificationPolicy};

@@ -150,6 +150,33 @@ impl ReliableEndpoint {
             .all(|l| l.unacked.is_empty() && !l.owe_ack)
     }
 
+    /// The earliest tick at which [`ReliableEndpoint::tick`] would emit
+    /// control traffic: the minimum `next_retry` over unacked envelopes
+    /// on non-suspected links (retransmission or, once the budget is
+    /// spent, the suspicion that clears the link), or `Some(0)` —
+    /// "immediately" — when a standalone ack is owed (the scheduler
+    /// clamps to the current tick). `None` when the endpoint is settled
+    /// toward every peer: ticking it before `next_timer()` is then
+    /// provably a no-op, which is what lets the event-driven scheduler
+    /// register retransmission timers as future events instead of
+    /// rediscovering them by polling (see `docs/scheduler.md`).
+    pub fn next_timer(&self) -> Option<u64> {
+        // Owed acks flush on the very next tick, even toward suspected
+        // peers.
+        if self.links.iter().any(|link| link.owe_ack) {
+            return Some(0);
+        }
+        // Read-only inspection: every timer surveyed here was scheduled
+        // by machinery already bounded by the `RetryPolicy` budget, so
+        // reporting the minimum adds no retransmission of its own.
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(peer, _)| !self.suspected[*peer])
+            .flat_map(|(_, link)| link.unacked.iter().map(|pending| pending.next_retry))
+            .min()
+    }
+
     /// Wraps one tick's protocol output into sealed per-peer unicasts.
     /// Broadcasts expand to one envelope per non-suspected peer (the
     /// transport-level `n − 1` cost model, minus the dead); unicasts to
@@ -545,6 +572,64 @@ mod tests {
         for now in 2..40 {
             assert!(ep.tick(now, "commitments").is_empty());
         }
+    }
+
+    /// `next_timer` must bracket exactly the ticks on which `tick`
+    /// emits something: skipping every tick before it, then ticking at
+    /// it, reproduces the poll-every-tick behaviour.
+    #[test]
+    fn next_timer_predicts_every_emitting_tick() {
+        let policy = RetryPolicy {
+            base_timeout: 2,
+            budget: 2,
+        };
+        let mut ep = ReliableEndpoint::new(0, 2, policy);
+        assert_eq!(ep.next_timer(), None);
+        let _ = ep.seal_outgoing(
+            0,
+            "bidding",
+            vec![(Recipient::Unicast(NodeId(1)), ack_body(0))],
+        );
+        assert_eq!(ep.next_timer(), Some(2), "first retry at base_timeout");
+        // Event-style drive: jump straight to each promised tick.
+        let mut emitted_at = Vec::new();
+        while let Some(due) = ep.next_timer() {
+            let out = ep.tick(due, "commitments");
+            assert!(
+                !out.is_empty(),
+                "next_timer promised activity at {due} but tick was empty"
+            );
+            emitted_at.push(due);
+            if ep.suspected()[1] {
+                break;
+            }
+        }
+        // Poll-every-tick oracle over the same policy.
+        let mut oracle = ReliableEndpoint::new(0, 2, policy);
+        let _ = oracle.seal_outgoing(
+            0,
+            "bidding",
+            vec![(Recipient::Unicast(NodeId(1)), ack_body(0))],
+        );
+        let mut oracle_emitted = Vec::new();
+        for now in 1..=20 {
+            if !oracle.tick(now, "commitments").is_empty() {
+                oracle_emitted.push(now);
+            }
+        }
+        assert_eq!(emitted_at, oracle_emitted);
+        assert_eq!(ep.next_timer(), None, "suspicion cleared the link");
+        // An owed ack is due immediately.
+        let released = ep.process_inbound(vec![delivered(
+            1,
+            Body::Sealed {
+                seq: 1,
+                ack: 0,
+                inner: Box::new(ack_body(3)),
+            },
+        )]);
+        assert_eq!(released.len(), 1);
+        assert_eq!(ep.next_timer(), Some(0));
     }
 
     /// Builds endpoints where each entry of `suspicions` lists who that

@@ -148,6 +148,31 @@ impl DmwRun {
 /// seed without reusing its draws.
 const RECOVERY_SEED_DOMAIN: u64 = 0x5245_4155_4354_4E31;
 
+/// Which scheduling engine [`DmwRunner::run_on`] drives the run with.
+/// Both engines execute the *same* tick body; they differ only in which
+/// ticks they bother to execute, and every run artifact —
+/// [`RunResult`], [`dmw_simnet::NetworkStats`], the trace, the metrics
+/// snapshot — is bit-identical between them except for the
+/// `events_processed` gauge that counts executed ticks
+/// (`tests/tests/event_parity.rs` pins this). See `docs/scheduler.md`
+/// for the event-queue design and the parity argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Discrete-event scheduling (the default): after each executed
+    /// tick, jump directly to the next tick that can matter — the
+    /// transport's next delivery, an agent's patience deadline or
+    /// readiness cascade, or a reliable endpoint's retransmission
+    /// timer — fast-forwarding the dead air in between. This is what
+    /// makes recovery runs (whose backoff horizon is `base·2^budget`
+    /// ticks of mostly idle waiting) and large-`n` sweeps tractable.
+    #[default]
+    Event,
+    /// Execute every tick from 0 to the stopping round — the paper's
+    /// poll-every-tick quiescence loop, kept as the regression oracle
+    /// the event engine is checked against.
+    Polling,
+}
+
 /// Drives DMW protocol runs under a fixed configuration.
 #[derive(Debug, Clone)]
 pub struct DmwRunner {
@@ -158,6 +183,7 @@ pub struct DmwRunner {
     round_budget: u64,
     patience: u64,
     recovery: Option<RetryPolicy>,
+    engine: Engine,
 }
 
 impl DmwRunner {
@@ -172,7 +198,18 @@ impl DmwRunner {
             round_budget: PROTOCOL_ROUNDS,
             patience: 1,
             recovery: None,
+            engine: Engine::default(),
         }
+    }
+
+    /// Selects the scheduling engine (see [`Engine`]). The default
+    /// [`Engine::Event`] skips provably idle ticks;
+    /// [`Engine::Polling`] executes every tick — useful as the
+    /// regression oracle and for step-by-step debugging.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the verification policy (see [`VerificationPolicy`]).
@@ -405,80 +442,18 @@ impl DmwRunner {
         let mut sched_metrics = MetricsSnapshot::default();
 
         let mut round: u64 = 0;
+        let mut ticks_processed: u64 = 0;
         loop {
-            for (i, agent) in agents.iter_mut().enumerate() {
-                let inbox = transport.take_inbox(NodeId(i));
-                // Recovery mode: the endpoint consumes acks and control
-                // traffic, deduplicates and reorders, and releases the
-                // in-sequence protocol messages the agent should see.
-                let inbox = match endpoints.get_mut(i) {
-                    Some(endpoint) => endpoint.process_inbound(inbox),
-                    None => inbox,
-                };
-                let outgoing = agent.poll(inbox);
-                let outgoing = if self.batching {
-                    coalesce(outgoing, Body::Batch)
-                } else {
-                    outgoing
-                };
-                let phase = agent.acted_phase();
-                // Trace and per-phase accounting cover the *logical*
-                // protocol messages — sealing overhead, retransmissions
-                // and acks are metered separately by the endpoints and
-                // the transport.
-                for (recipient, body) in &outgoing {
-                    trace.push(TraceEvent::new(
-                        round,
-                        phase,
-                        i,
-                        recipient,
-                        body.kind(),
-                        body.task(),
-                    ));
-                    // Broadcasts are n − 1 transmissions, per the
-                    // paper's cost model and the transport's own
-                    // accounting.
-                    let copies = match recipient {
-                        Recipient::Unicast(_) => 1,
-                        Recipient::Broadcast => (n - 1) as u64,
-                    };
-                    let mut messages = Key::named("phase_messages").phase(phase).agent(i as u32);
-                    if let Some(task) = body.task() {
-                        messages = messages.task(task as u32);
-                    }
-                    sched_metrics.incr(messages, copies);
-                    sched_metrics.incr(
-                        Key::named("phase_bytes").phase(phase).agent(i as u32),
-                        copies * body.size_bytes() as u64,
-                    );
-                }
-                match endpoints.get_mut(i) {
-                    Some(endpoint) => {
-                        // Seal after coalescing (the envelope is the
-                        // outermost layer), then run the retransmit
-                        // timers and flush any owed standalone acks.
-                        for (to, body) in endpoint.seal_outgoing(round, phase, outgoing) {
-                            transport.send(NodeId(i), to, body);
-                        }
-                        let label = agent.phase().label();
-                        for (recipient, body) in endpoint.tick(round, label) {
-                            match recipient {
-                                Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
-                                Recipient::Broadcast => transport.broadcast(NodeId(i), body),
-                            }
-                        }
-                    }
-                    None => {
-                        for (recipient, body) in outgoing {
-                            match recipient {
-                                Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
-                                Recipient::Broadcast => transport.broadcast(NodeId(i), body),
-                            }
-                        }
-                    }
-                }
-            }
-            transport.step();
+            run_tick(
+                round,
+                self.batching,
+                &mut agents,
+                &mut endpoints,
+                &mut transport,
+                &mut trace,
+                &mut sched_metrics,
+            );
+            ticks_processed += 1;
             round += 1;
             if round >= round_budget {
                 break;
@@ -488,6 +463,39 @@ impl DmwRunner {
                 && endpoints.iter().all(ReliableEndpoint::is_settled)
             {
                 break;
+            }
+            if self.engine == Engine::Event {
+                // Next tick that can matter: the transport's earliest
+                // delivery, an agent's wake (patience deadline or
+                // readiness cascade), or a reliable endpoint's
+                // retransmission timer. Everything strictly between
+                // `round` and that tick is a provable global no-op —
+                // the stopping condition above is invariant across the
+                // gap (nothing delivers, acts or retransmits), so both
+                // engines evaluate it in identical states. With no
+                // event left before the budget, fast-forward straight
+                // to it, exactly as the polling loop's remaining empty
+                // ticks would.
+                let mut next: Option<u64> = transport.next_due();
+                let mut merge = |candidate: Option<u64>| {
+                    if let Some(tick) = candidate {
+                        next = Some(next.map_or(tick, |t| t.min(tick)));
+                    }
+                };
+                for agent in &agents {
+                    merge(agent.next_wake());
+                }
+                for endpoint in &endpoints {
+                    merge(endpoint.next_timer());
+                }
+                let target = next.unwrap_or(round_budget).clamp(round, round_budget);
+                if target > round {
+                    transport.advance_to(target);
+                    round = target;
+                    if round >= round_budget {
+                        break;
+                    }
+                }
             }
         }
 
@@ -507,6 +515,13 @@ impl DmwRunner {
             metrics.absorb(endpoint.metrics());
         }
         metrics.gauge_max(Key::named("run_ticks"), round);
+        // `run_ticks` is simulated time (the final tick counter, both
+        // engines agree on it bit-for-bit); `events_processed` is
+        // scheduler work — how many tick bodies actually executed. Under
+        // the polling engine they coincide; under the event engine
+        // `events_processed` can be far smaller when the run has long
+        // idle stretches (retransmission backoff, patience waits).
+        metrics.gauge_max(Key::named("events_processed"), ticks_processed);
 
         let result = 'result: {
             let unresolvable = || RunResult::Aborted {
@@ -742,7 +757,8 @@ impl DmwRunner {
         let sub_runner = DmwRunner::new(sub_config)
             .with_policy(self.policy)
             .with_batching(self.batching)
-            .with_verify_threads(self.verify_threads);
+            .with_verify_threads(self.verify_threads)
+            .with_engine(self.engine);
         let sub_run = sub_runner.run(
             &sub_bids,
             &sub_behaviors,
@@ -827,6 +843,97 @@ impl DmwRunner {
             }),
         }
     }
+}
+
+/// One scheduler tick: poll every agent with its freshly delivered
+/// inbox, trace and meter the logical protocol messages, seal and send
+/// them (through the reliable endpoints in recovery mode), then step the
+/// transport. Both [`Engine`]s execute this exact body — they differ
+/// only in which ticks they execute, which is why their run artifacts
+/// stay bit-identical (`docs/scheduler.md`).
+fn run_tick<T: Transport<Body>>(
+    round: u64,
+    batching: bool,
+    agents: &mut [DmwAgent],
+    endpoints: &mut [ReliableEndpoint],
+    transport: &mut T,
+    trace: &mut Vec<TraceEvent>,
+    sched_metrics: &mut MetricsSnapshot,
+) {
+    let n = agents.len();
+    for (i, agent) in agents.iter_mut().enumerate() {
+        let inbox = transport.take_inbox(NodeId(i));
+        // Recovery mode: the endpoint consumes acks and control
+        // traffic, deduplicates and reorders, and releases the
+        // in-sequence protocol messages the agent should see.
+        let inbox = match endpoints.get_mut(i) {
+            Some(endpoint) => endpoint.process_inbound(inbox),
+            None => inbox,
+        };
+        let outgoing = agent.poll_at(round, inbox);
+        let outgoing = if batching {
+            coalesce(outgoing, Body::Batch)
+        } else {
+            outgoing
+        };
+        let phase = agent.acted_phase();
+        // Trace and per-phase accounting cover the *logical*
+        // protocol messages — sealing overhead, retransmissions
+        // and acks are metered separately by the endpoints and
+        // the transport.
+        for (recipient, body) in &outgoing {
+            trace.push(TraceEvent::new(
+                round,
+                phase,
+                i,
+                recipient,
+                body.kind(),
+                body.task(),
+            ));
+            // Broadcasts are n − 1 transmissions, per the
+            // paper's cost model and the transport's own
+            // accounting.
+            let copies = match recipient {
+                Recipient::Unicast(_) => 1,
+                Recipient::Broadcast => (n - 1) as u64,
+            };
+            let mut messages = Key::named("phase_messages").phase(phase).agent(i as u32);
+            if let Some(task) = body.task() {
+                messages = messages.task(task as u32);
+            }
+            sched_metrics.incr(messages, copies);
+            sched_metrics.incr(
+                Key::named("phase_bytes").phase(phase).agent(i as u32),
+                copies * body.size_bytes() as u64,
+            );
+        }
+        match endpoints.get_mut(i) {
+            Some(endpoint) => {
+                // Seal after coalescing (the envelope is the
+                // outermost layer), then run the retransmit
+                // timers and flush any owed standalone acks.
+                for (to, body) in endpoint.seal_outgoing(round, phase, outgoing) {
+                    transport.send(NodeId(i), to, body);
+                }
+                let label = agent.phase().label();
+                for (recipient, body) in endpoint.tick(round, label) {
+                    match recipient {
+                        Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
+                        Recipient::Broadcast => transport.broadcast(NodeId(i), body),
+                    }
+                }
+            }
+            None => {
+                for (recipient, body) in outgoing {
+                    match recipient {
+                        Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
+                        Recipient::Broadcast => transport.broadcast(NodeId(i), body),
+                    }
+                }
+            }
+        }
+    }
+    transport.step();
 }
 
 /// Utility of each agent for a completed run: settled payment minus the

@@ -258,6 +258,22 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Removes every counter, gauge and histogram series whose metric
+    /// name is `name`, whatever its labels, returning the filtered
+    /// snapshot. Equivalence tests use this to compare snapshots
+    /// *modulo* a deliberately engine-dependent series (e.g. the
+    /// scheduler's `events_processed` gauge, which counts processed
+    /// ticks and therefore legitimately differs between the event
+    /// engine and the polling oracle while everything else must stay
+    /// bit-identical).
+    #[must_use]
+    pub fn without_metric(mut self, name: &str) -> MetricsSnapshot {
+        self.counters.retain(|k, _| k.name != name);
+        self.gauges.retain(|k, _| k.name != name);
+        self.histograms.retain(|k, _| k.name != name);
+        self
+    }
+
     /// Accumulates another snapshot into this one: counters add,
     /// gauges max, histogram buckets add. Mirrors
     /// `NetworkStats::absorb`, so the batch harness folds snapshots
@@ -461,6 +477,24 @@ mod tests {
         assert_eq!(by_phase.get("bidding"), Some(&5));
         assert_eq!(by_phase.get("claimed"), Some(&1));
         assert_eq!(by_phase.len(), 2);
+    }
+
+    #[test]
+    fn without_metric_strips_a_series_across_all_stores() {
+        let mut m = MetricsSnapshot::new();
+        m.incr(Key::named("events_processed").agent(0), 2);
+        m.gauge_max(Key::named("events_processed"), 9);
+        m.gauge_max(Key::named("run_ticks"), 6);
+        m.observe(Key::named("events_processed"), &[1, 2], 1);
+        m.observe(Key::named("delay"), &[1, 2], 1);
+        let filtered = m.without_metric("events_processed");
+        assert_eq!(filtered.counter_total("events_processed"), 0);
+        assert_eq!(filtered.gauge(&Key::named("events_processed")), 0);
+        assert!(filtered
+            .histogram(&Key::named("events_processed"))
+            .is_none());
+        assert_eq!(filtered.gauge(&Key::named("run_ticks")), 6);
+        assert!(filtered.histogram(&Key::named("delay")).is_some());
     }
 
     #[test]

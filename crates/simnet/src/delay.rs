@@ -305,6 +305,51 @@ impl<M: Payload + Clone> DelayTransport<M> {
     pub fn is_quiescent(&self) -> bool {
         self.holding.is_empty() && self.inboxes.iter().all(VecDeque::is_empty)
     }
+
+    /// The earliest tick at which the transport can matter to a
+    /// scheduler tick: *now* while any inbox holds undrained
+    /// deliveries, otherwise the earliest held message's due tick
+    /// (every held `due` exceeds the current round — [`DelayTransport::step`]
+    /// already delivered everything at or before it), `None` when
+    /// quiescent.
+    pub fn next_due(&self) -> Option<u64> {
+        if self.inboxes.iter().any(|q| !q.is_empty()) {
+            return Some(self.round);
+        }
+        self.holding.iter().map(|msg| msg.due).min()
+    }
+
+    /// Fast-forwards to tick `target` exactly as repeated
+    /// [`DelayTransport::step`] calls would. Stretches with no due
+    /// arrivals collapse into a constant-time round/statistics jump;
+    /// every round on which something falls due runs a real `step`, so
+    /// delivery order, the round-seeded inbox shuffle and the
+    /// loss-attribution chain are all bit-identical to stepping.
+    pub fn advance_to(&mut self, target: u64) -> u64 {
+        let mut delivered = 0;
+        while self.round < target {
+            match self.holding.iter().map(|msg| msg.due).min() {
+                Some(due) => {
+                    // A message due at tick `d` is moved by the step
+                    // taken at round `d − 1`; rounds before that are
+                    // dead air.
+                    let idle_until = due.saturating_sub(1).min(target);
+                    if self.round < idle_until {
+                        self.stats.rounds += idle_until - self.round;
+                        self.round = idle_until;
+                    }
+                    if self.round < target {
+                        delivered += self.step();
+                    }
+                }
+                None => {
+                    self.stats.rounds += target - self.round;
+                    self.round = target;
+                }
+            }
+        }
+        delivered
+    }
 }
 
 impl<M: Payload + Clone> Transport<M> for DelayTransport<M> {
@@ -346,6 +391,14 @@ impl<M: Payload + Clone> Transport<M> for DelayTransport<M> {
 
     fn is_quiescent(&self) -> bool {
         DelayTransport::is_quiescent(self)
+    }
+
+    fn next_due(&self) -> Option<u64> {
+        DelayTransport::next_due(self)
+    }
+
+    fn advance_to(&mut self, target: u64) -> u64 {
+        DelayTransport::advance_to(self, target)
     }
 }
 
@@ -546,6 +599,64 @@ mod tests {
             "a fault plan must drop the same logical messages on every transport"
         );
         assert_eq!(delayed.stats().dropped, lockstep.stats().dropped);
+    }
+
+    #[test]
+    fn next_due_reports_inboxes_then_earliest_held_due() {
+        let plan = FaultPlan::none(3).delay_link(NodeId(0), NodeId(2), 4);
+        let mut net: DelayTransport<u64> =
+            DelayTransport::with_faults(3, plan, DelayProfile::fixed(1));
+        assert_eq!(net.next_due(), None);
+        net.send(NodeId(0), NodeId(1), 1); // due at tick 2
+        net.send(NodeId(0), NodeId(2), 2); // due at tick 6
+        assert_eq!(net.next_due(), Some(2));
+        net.step();
+        net.step();
+        assert_eq!(net.next_due(), Some(2), "undrained inbox is due now");
+        net.take_inbox(NodeId(1));
+        assert_eq!(net.next_due(), Some(6), "next event is the held message");
+        net.advance_to(6);
+        net.take_inbox(NodeId(2));
+        assert_eq!(net.next_due(), None);
+    }
+
+    /// `advance_to` must be indistinguishable from stepping — including
+    /// the round-seeded inbox shuffle and enqueue-order drop schedules,
+    /// both of which read the round counter at delivery time.
+    #[test]
+    fn advance_to_matches_repeated_steps_with_jitter_shuffle_and_drops() {
+        let build = || -> DelayTransport<u64> {
+            DelayTransport::with_faults(
+                3,
+                FaultPlan::none(3).drop_every(4),
+                DelayProfile::jittered(1, 5, 0xABCD),
+            )
+            .with_inbox_shuffle(9)
+        };
+        let mut stepped = build();
+        let mut jumped = build();
+        for net in [&mut stepped, &mut jumped] {
+            for k in 0..12 {
+                net.send(NodeId(0), NodeId(1), k);
+                net.send(NodeId(2), NodeId(1), 100 + k);
+                net.send(NodeId(0), NodeId(2), 200 + k);
+            }
+        }
+        let mut total = 0;
+        for _ in 0..10 {
+            total += stepped.step();
+        }
+        assert_eq!(jumped.advance_to(10), total);
+        assert_eq!(jumped.round(), stepped.round());
+        assert_eq!(jumped.stats(), stepped.stats());
+        assert_eq!(jumped.metrics(), stepped.metrics());
+        for node in 0..3 {
+            assert_eq!(
+                jumped.take_inbox(NodeId(node)),
+                stepped.take_inbox(NodeId(node)),
+                "inbox {node} diverged"
+            );
+        }
     }
 
     /// The delayed-crash path can end a run with traffic still held:

@@ -58,13 +58,22 @@ pub struct Delivered<M> {
     pub payload: M,
 }
 
-/// One queued transmission.
+/// One queued transmission. `payload` is `None` when the sender was
+/// already crashed at the send tick: sender crash is the *first* check
+/// in the attribution chain and depends only on `(from, sent_round)`,
+/// both known at enqueue time, so the body is provably never delivered
+/// and storing a clone of it would be pure waste. At scheduler-scale
+/// sweeps (n = 1024, every node crashed) the per-recipient commitment
+/// clones of a single bidding broadcast would otherwise hold tens of
+/// gigabytes in flight. Accounting is untouched — the tombstone still
+/// occupies its enqueue-order slot, so periodic/probabilistic sequence
+/// numbers and every counter are bit-identical.
 #[derive(Debug, Clone)]
 struct InFlight<M> {
     from: NodeId,
     to: NodeId,
     broadcast: bool,
-    payload: M,
+    payload: Option<M>,
 }
 
 /// Why a transmission was lost at delivery time. Variant order mirrors
@@ -274,11 +283,12 @@ impl<M: Payload + Clone> LockstepTransport<M> {
         self.stats.point_to_point += 1;
         self.stats.bytes += payload.size_bytes() as u64;
         record_enqueue(&mut self.metrics, from, to, payload.size_bytes() as u64, 1);
+        let doomed = self.faults.is_crashed(from, self.round);
         self.pending.push(InFlight {
             from,
             to,
             broadcast: false,
-            payload,
+            payload: (!doomed).then_some(payload),
         });
     }
 
@@ -291,6 +301,7 @@ impl<M: Payload + Clone> LockstepTransport<M> {
     pub fn broadcast(&mut self, from: NodeId, payload: M) {
         assert!(from.0 < self.n, "node out of range");
         self.stats.broadcasts += 1;
+        let doomed = self.faults.is_crashed(from, self.round);
         for to in 0..self.n {
             if to == from.0 {
                 continue;
@@ -308,7 +319,7 @@ impl<M: Payload + Clone> LockstepTransport<M> {
                 from,
                 to: NodeId(to),
                 broadcast: true,
-                payload: payload.clone(),
+                payload: (!doomed).then(|| payload.clone()),
             });
         }
     }
@@ -334,7 +345,12 @@ impl<M: Payload + Clone> LockstepTransport<M> {
             self.inboxes[msg.to.0].push_back(Delivered {
                 from: msg.from,
                 broadcast: msg.broadcast,
-                payload: msg.payload,
+                // A `None` payload means the sender was crashed at the
+                // send tick, which `classify_loss` reports as a drop
+                // above — a delivered tombstone is unreachable.
+                payload: msg
+                    .payload
+                    .expect("sender-crashed tombstones never deliver"),
             });
             delivered += 1;
         }
@@ -364,6 +380,35 @@ impl<M: Payload + Clone> LockstepTransport<M> {
     /// been drained — nothing the protocol could still react to.
     pub fn is_quiescent(&self) -> bool {
         self.pending.is_empty() && self.inboxes.iter().all(VecDeque::is_empty)
+    }
+
+    /// The earliest tick at which the network can matter to a scheduler
+    /// tick: on the lockstep transport every [`LockstepTransport::step`]
+    /// drains `pending` completely, so between ticks the only possible
+    /// activity is traffic already sitting in inboxes — due *now* — and
+    /// a quiescent network has no future event at all.
+    pub fn next_due(&self) -> Option<u64> {
+        if self.is_quiescent() {
+            None
+        } else {
+            Some(self.round)
+        }
+    }
+
+    /// Fast-forwards to tick `target` exactly as repeated
+    /// [`LockstepTransport::step`] calls would: at most one real step
+    /// (pending traffic, if any, all delivers on the first one), then a
+    /// constant-time round/statistics jump over the remaining dead air.
+    pub fn advance_to(&mut self, target: u64) -> u64 {
+        let mut delivered = 0;
+        if !self.pending.is_empty() && self.round < target {
+            delivered = self.step();
+        }
+        if self.round < target {
+            self.stats.rounds += target - self.round;
+            self.round = target;
+        }
+        delivered
     }
 }
 
@@ -406,6 +451,14 @@ impl<M: Payload + Clone> Transport<M> for LockstepTransport<M> {
 
     fn is_quiescent(&self) -> bool {
         LockstepTransport::is_quiescent(self)
+    }
+
+    fn next_due(&self) -> Option<u64> {
+        LockstepTransport::next_due(self)
+    }
+
+    fn advance_to(&mut self, target: u64) -> u64 {
+        LockstepTransport::advance_to(self, target)
     }
 }
 
@@ -532,5 +585,36 @@ mod tests {
         let mut net: Network<Vec<u64>> = Network::new(2);
         net.send(NodeId(0), NodeId(1), vec![1, 2, 3]);
         assert_eq!(net.stats().bytes, 24);
+    }
+
+    #[test]
+    fn next_due_is_now_while_traffic_exists_and_none_when_quiescent() {
+        let mut net: Network<u64> = Network::new(2);
+        assert_eq!(net.next_due(), None);
+        net.send(NodeId(0), NodeId(1), 1);
+        assert_eq!(net.next_due(), Some(0), "pending traffic is due now");
+        net.step();
+        assert_eq!(net.next_due(), Some(1), "undrained inbox is due now");
+        net.take_inbox(NodeId(1));
+        assert_eq!(net.next_due(), None);
+    }
+
+    #[test]
+    fn advance_to_matches_repeated_steps() {
+        let mut stepped: Network<u64> = Network::new(2);
+        let mut jumped: Network<u64> = Network::new(2);
+        for net in [&mut stepped, &mut jumped] {
+            net.send(NodeId(0), NodeId(1), 7);
+        }
+        for _ in 0..5 {
+            stepped.step();
+        }
+        assert_eq!(jumped.advance_to(5), 1);
+        assert_eq!(jumped.round(), stepped.round());
+        assert_eq!(jumped.stats(), stepped.stats());
+        assert_eq!(jumped.take_inbox(NodeId(1)), stepped.take_inbox(NodeId(1)));
+        // At-or-before targets are no-ops.
+        assert_eq!(jumped.advance_to(3), 0);
+        assert_eq!(jumped.round(), 5);
     }
 }

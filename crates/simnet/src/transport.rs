@@ -78,6 +78,42 @@ pub trait Transport<M: Payload + Clone> {
     /// `true` when no traffic is pending delivery *and* every inbox has
     /// been drained — the scheduler's termination signal.
     fn is_quiescent(&self) -> bool;
+
+    /// The earliest tick `t >= round()` at which a scheduler tick can
+    /// observe transport activity: `round()` itself while any inbox
+    /// still holds deliveries (or lockstep traffic is pending), the
+    /// earliest held message's due tick for a delaying transport, and
+    /// `None` when the transport is quiescent. An event-driven
+    /// scheduler (see `docs/scheduler.md`) may [`Transport::advance_to`]
+    /// any tick up to the reported value without changing what any
+    /// agent ever observes.
+    ///
+    /// The default is deliberately conservative — "now, unless
+    /// quiescent" — which degrades an event-driven scheduler to
+    /// poll-every-tick behaviour on transports that don't override it
+    /// (wrappers, test doubles) while staying exactly equivalent.
+    fn next_due(&self) -> Option<u64> {
+        if self.is_quiescent() {
+            None
+        } else {
+            Some(self.round())
+        }
+    }
+
+    /// Advances the transport to tick `target` exactly as
+    /// `target − round()` consecutive [`Transport::step`] calls would —
+    /// same deliveries in the same order, same round/statistics
+    /// accounting — returning the total number of messages delivered.
+    /// Implementations override this to fast-forward dead air in O(1);
+    /// the default literally steps. A `target` at or before the current
+    /// round is a no-op.
+    fn advance_to(&mut self, target: u64) -> u64 {
+        let mut delivered = 0;
+        while self.round() < target {
+            delivered += self.step();
+        }
+        delivered
+    }
 }
 
 /// Groups same-recipient payloads into one transmission each, preserving

@@ -25,6 +25,13 @@
 #      dmw-lint as an integration test, so CI cannot skip it)
 #   8. bench_batch --smoke        -- the batch engine end-to-end on a tiny
 #      instance, exiting non-zero if thread counts disagree
+#   9. bench_scale --smoke        -- the event-driven scheduler's n-sweep
+#      harness end-to-end on the smallest point, exiting non-zero if the
+#      event engine and the polling oracle disagree bit-for-bit
+#  10. reproduce drift            -- regenerates the full report and the
+#      metrics snapshot under the (default) event engine and compares
+#      byte-for-byte against the committed docs/reproduce_output.md and
+#      docs/reproduce_metrics.json -- scheduler drift fails the gate
 #
 # Exits non-zero at the first failing step.
 set -euo pipefail
@@ -67,5 +74,22 @@ cargo test --quiet --workspace
 
 echo "==> bench_batch --smoke"
 cargo run --quiet -p dmw-bench --bin bench_batch -- --smoke
+
+echo "==> bench_scale --smoke"
+cargo run --quiet -p dmw-bench --bin bench_scale -- --smoke
+
+echo "==> reproduce drift (event engine vs committed report)"
+cargo run --release --quiet -p dmw-bench --bin reproduce -- all \
+    --metrics target/reproduce_metrics.json > target/reproduce_output.md
+if ! cmp -s target/reproduce_output.md docs/reproduce_output.md; then
+    echo "docs/reproduce_output.md is stale; regenerate with:" >&2
+    echo "  cargo run --release -p dmw-bench --bin reproduce -- all \\" >&2
+    echo "    --metrics docs/reproduce_metrics.json > docs/reproduce_output.md" >&2
+    exit 1
+fi
+if ! cmp -s target/reproduce_metrics.json docs/reproduce_metrics.json; then
+    echo "docs/reproduce_metrics.json is stale; regenerate alongside the report" >&2
+    exit 1
+fi
 
 echo "check.sh: all gates passed"
