@@ -2,9 +2,9 @@
 //!
 //! Times the identical trial batch at several thread counts,
 //! cross-checks bit-identity of the results, and emits the
-//! `dmw-bench-batch/v3` JSON baseline — wall-clock timings plus a
-//! deterministic per-phase breakdown and the recovery-layer aggregates
-//! (see `docs/benchmarks.md`):
+//! `dmw-bench-batch/v4` JSON baseline — wall-clock timings plus a
+//! deterministic per-phase breakdown and the before/after (classic vs
+//! adaptive endpoints) recovery comparison (see `docs/benchmarks.md`):
 //!
 //! ```text
 //! cargo run --release -p dmw-bench --bin bench_batch -- --out BENCH_batch.json
@@ -18,9 +18,11 @@
 //! default chaos workload — reliable delivery over `drop_every(3)` loss
 //! with a crash rotation exercising graceful degradation), `--out
 //! <path>` (write the JSON baseline; omitted = print to stdout),
-//! `--smoke` (tiny instance, no file output — the `check.sh` gate).
+//! `--smoke` (tiny instance, no file output — the `check.sh` gate),
+//! `--max-retransmissions <N>` / `--max-duplicates <N>` (recovery
+//! regression ceilings: fail when the adaptive batch exceeds them).
 //! Exits non-zero if any thread count produced results differing from
-//! the sequential reference.
+//! the sequential reference, or a recovery ceiling is exceeded.
 
 use dmw_bench::experiments::batch::{measure, Workload};
 
@@ -34,12 +36,15 @@ struct Options {
     chaos: bool,
     out: Option<String>,
     smoke: bool,
+    max_retransmissions: Option<u64>,
+    max_duplicates: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_batch [--trials N] [--threads a,b,c] [--n N] [--c C] [--m M] \
-         [--seed S] [--no-chaos] [--out PATH] [--smoke]"
+         [--seed S] [--no-chaos] [--out PATH] [--smoke] \
+         [--max-retransmissions N] [--max-duplicates N]"
     );
     std::process::exit(2);
 }
@@ -61,6 +66,8 @@ fn parse_options() -> Options {
         chaos: true,
         out: None,
         smoke: false,
+        max_retransmissions: None,
+        max_duplicates: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -80,6 +87,8 @@ fn parse_options() -> Options {
             "--no-chaos" => options.chaos = false,
             "--out" => options.out = Some(it.next().unwrap_or_else(|| usage())),
             "--smoke" => options.smoke = true,
+            "--max-retransmissions" => options.max_retransmissions = Some(parse(it.next())),
+            "--max-duplicates" => options.max_duplicates = Some(parse(it.next())),
             _ => usage(),
         }
     }
@@ -133,6 +142,25 @@ fn main() {
     );
     if !baseline.bit_identical {
         eprintln!("bench_batch: FAILED — thread counts disagreed on trial results");
+        std::process::exit(1);
+    }
+    // Recovery regression ceilings: the adaptive endpoints must stay
+    // under the committed recovery-traffic budget.
+    let mut over_ceiling = false;
+    for (name, ceiling) in [
+        ("retransmissions", options.max_retransmissions),
+        ("duplicate_deliveries", options.max_duplicates),
+    ] {
+        let measured = baseline.metrics.counter_total(name);
+        if let Some(ceiling) = ceiling {
+            eprintln!("  {name}: {measured} (ceiling {ceiling})");
+            if measured > ceiling {
+                eprintln!("bench_batch: FAILED — {name} exceeded the recovery ceiling");
+                over_ceiling = true;
+            }
+        }
+    }
+    if over_ceiling {
         std::process::exit(1);
     }
     let json = baseline.to_json();

@@ -482,6 +482,8 @@ impl DmwAgent {
             | Body::Batch(_)
             | Body::Sealed { .. }
             | Body::Ack { .. }
+            | Body::Nack { .. }
+            | Body::Repair { .. }
             | Body::SuspectDead { .. } => {}
         }
     }

@@ -39,6 +39,10 @@ pub enum DecodeError {
     },
     /// Commitment vectors did not match the supplied encoding's `σ`.
     WrongCommitmentShape,
+    /// Sequence ranges violated their invariants: a selective-ack or
+    /// repair set that is empty where it may not be, descending, or
+    /// overlapping, or a nack range with `lo > hi`.
+    MalformedRanges,
 }
 
 impl fmt::Display for DecodeError {
@@ -50,6 +54,9 @@ impl fmt::Display for DecodeError {
             DecodeError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes"),
             DecodeError::WrongCommitmentShape => {
                 write!(f, "commitment vectors do not match the encoding")
+            }
+            DecodeError::MalformedRanges => {
+                write!(f, "sequence ranges are empty, descending, or overlapping")
             }
         }
     }
@@ -194,6 +201,8 @@ const TAG_WINNER_CLAIM: u8 = 9;
 const TAG_SEALED: u8 = 10;
 const TAG_ACK: u8 = 11;
 const TAG_SUSPECT_DEAD: u8 = 12;
+const TAG_NACK: u8 = 13;
+const TAG_REPAIR: u8 = 14;
 
 fn encode_abort(reason: &AbortReason, w: &mut Writer) {
     match reason {
@@ -351,9 +360,40 @@ impl Body {
                 w.u64(*ack);
                 w.buf.extend_from_slice(&inner.encode());
             }
-            Body::Ack { ack } => {
+            Body::Ack { ack, sack } => {
+                assert!(
+                    sack.len() <= crate::reliable::SACK_MAX_RANGES,
+                    "selective-ack range set exceeds the wire bound"
+                );
                 w.u8(TAG_ACK);
                 w.u64(*ack);
+                w.u8(sack.len() as u8);
+                for &(lo, hi) in sack {
+                    w.u64(lo);
+                    w.u64(hi);
+                }
+            }
+            Body::Nack { lo, hi } => {
+                w.u8(TAG_NACK);
+                w.u64(*lo);
+                w.u64(*hi);
+            }
+            Body::Repair { ack, items } => {
+                assert!(
+                    !items
+                        .iter()
+                        .any(|(_, b)| matches!(b, Body::Sealed { .. } | Body::Repair { .. })),
+                    "repair envelopes carry unsealed payloads and never nest"
+                );
+                w.u8(TAG_REPAIR);
+                w.u64(*ack);
+                w.u32(items.len() as u32);
+                for (seq, body) in items {
+                    w.u64(*seq);
+                    let encoded = body.encode();
+                    w.u32(encoded.len() as u32);
+                    w.buf.extend_from_slice(&encoded);
+                }
             }
             Body::SuspectDead { peer } => {
                 w.u8(TAG_SUSPECT_DEAD);
@@ -396,7 +436,16 @@ impl Body {
                 1 + 4 + bodies.iter().map(|b| 4 + b.encoded_len()).sum::<usize>()
             }
             Body::Sealed { inner, .. } => 1 + 8 + 8 + inner.encoded_len(),
-            Body::Ack { .. } => 1 + 8,
+            Body::Ack { sack, .. } => 1 + 8 + 1 + sack.len() * 16,
+            Body::Nack { .. } => 1 + 8 + 8,
+            Body::Repair { items, .. } => {
+                1 + 8
+                    + 4
+                    + items
+                        .iter()
+                        .map(|(_, b)| 8 + 4 + b.encoded_len())
+                        .sum::<usize>()
+            }
             Body::SuspectDead { .. } => 1 + 4,
         }
     }
@@ -478,8 +527,9 @@ impl Body {
                     let start = r.pos;
                     let end = start.checked_add(len).ok_or(DecodeError::Truncated)?;
                     let slice = r.buf.get(start..end).ok_or(DecodeError::Truncated)?;
-                    // Batches never nest, and sealing is outermost.
-                    if let Some(&tag @ (TAG_BATCH | TAG_SEALED)) = slice.first() {
+                    // Batches never nest, and sealing (plain or repair)
+                    // is outermost.
+                    if let Some(&tag @ (TAG_BATCH | TAG_SEALED | TAG_REPAIR)) = slice.first() {
                         return Err(DecodeError::BadTag { tag });
                     }
                     bodies.push(Body::decode(slice, encoding)?);
@@ -491,15 +541,75 @@ impl Body {
                 let seq = r.u64()?;
                 let ack = r.u64()?;
                 let slice = r.buf.get(r.pos..).ok_or(DecodeError::Truncated)?;
-                // Sealed envelopes never nest.
-                if slice.first() == Some(&TAG_SEALED) {
-                    return Err(DecodeError::BadTag { tag: TAG_SEALED });
+                // Sealed envelopes never nest, in either sealing form.
+                if let Some(&tag @ (TAG_SEALED | TAG_REPAIR)) = slice.first() {
+                    return Err(DecodeError::BadTag { tag });
                 }
                 let inner = Box::new(Body::decode(slice, encoding)?);
                 r.pos = r.buf.len();
                 Body::Sealed { seq, ack, inner }
             }
-            TAG_ACK => Body::Ack { ack: r.u64()? },
+            TAG_ACK => {
+                let ack = r.u64()?;
+                let count = r.u8()?;
+                if usize::from(count) > crate::reliable::SACK_MAX_RANGES {
+                    return Err(DecodeError::LengthOverflow { len: count.into() });
+                }
+                let mut sack = Vec::with_capacity(count.into());
+                // Ranges must sit beyond the cumulative ack, each run
+                // non-empty, ascending and non-adjacent (an adjacent or
+                // overlapping pair should have been one range).
+                let mut floor = ack;
+                for _ in 0..count {
+                    let lo = r.u64()?;
+                    let hi = r.u64()?;
+                    if lo <= floor.saturating_add(1) || hi < lo {
+                        return Err(DecodeError::MalformedRanges);
+                    }
+                    floor = hi;
+                    sack.push((lo, hi));
+                }
+                Body::Ack { ack, sack }
+            }
+            TAG_NACK => {
+                let lo = r.u64()?;
+                let hi = r.u64()?;
+                if lo > hi {
+                    return Err(DecodeError::MalformedRanges);
+                }
+                Body::Nack { lo, hi }
+            }
+            TAG_REPAIR => {
+                let ack = r.u64()?;
+                let count = r.u32()?;
+                if count > MAX_VEC {
+                    return Err(DecodeError::LengthOverflow { len: count });
+                }
+                if count == 0 {
+                    return Err(DecodeError::MalformedRanges);
+                }
+                let mut items = Vec::with_capacity(count as usize);
+                let mut prev_seq = 0u64;
+                for _ in 0..count {
+                    let seq = r.u64()?;
+                    if seq <= prev_seq {
+                        return Err(DecodeError::MalformedRanges);
+                    }
+                    prev_seq = seq;
+                    let len = r.u32()? as usize;
+                    let start = r.pos;
+                    let end = start.checked_add(len).ok_or(DecodeError::Truncated)?;
+                    let slice = r.buf.get(start..end).ok_or(DecodeError::Truncated)?;
+                    // Repair carries what a Sealed would: anything but
+                    // another sealing layer.
+                    if let Some(&tag @ (TAG_SEALED | TAG_REPAIR)) = slice.first() {
+                        return Err(DecodeError::BadTag { tag });
+                    }
+                    items.push((seq, Body::decode(slice, encoding)?));
+                    r.pos = end;
+                }
+                Body::Repair { ack, items }
+            }
             TAG_SUSPECT_DEAD => Body::SuspectDead {
                 peer: r.u32()? as usize,
             },
@@ -586,7 +696,37 @@ mod tests {
                     f_values: vec![5, 6, 7],
                 }),
             },
-            Body::Ack { ack: 41 },
+            Body::Ack {
+                ack: 41,
+                sack: vec![],
+            },
+            Body::Ack {
+                ack: 41,
+                sack: vec![(43, 45), (47, 47), (50, u64::MAX)],
+            },
+            Body::Nack { lo: 7, hi: 9 },
+            Body::Repair {
+                ack: 12,
+                items: vec![
+                    (
+                        3,
+                        Body::Disclose {
+                            task: 1,
+                            f_values: vec![5, 6, 7],
+                        },
+                    ),
+                    (
+                        5,
+                        Body::Batch(vec![Body::Excluded {
+                            task: 2,
+                            pair: LambdaPsi {
+                                lambda: 10,
+                                psi: 20,
+                            },
+                        }]),
+                    ),
+                ],
+            },
             Body::SuspectDead { peer: 3 },
         ];
         (encoding, bodies)
@@ -748,7 +888,7 @@ mod tests {
         let (encoding, bodies) = sample_bodies();
         let plain: Vec<Body> = bodies
             .iter()
-            .filter(|b| !matches!(b, Body::Sealed { .. }))
+            .filter(|b| !matches!(b, Body::Sealed { .. } | Body::Repair { .. }))
             .cloned()
             .collect();
         let sealed = Body::Sealed {
@@ -764,8 +904,9 @@ mod tests {
     #[test]
     fn batch_round_trips_and_rejects_nesting() {
         let (encoding, mut bodies) = sample_bodies();
-        // Sealing is outermost, so the batch fixture excludes envelopes.
-        bodies.retain(|b| !matches!(b, Body::Sealed { .. }));
+        // Sealing is outermost, so the batch fixture excludes envelopes
+        // of both sealing forms.
+        bodies.retain(|b| !matches!(b, Body::Sealed { .. } | Body::Repair { .. }));
         let batch = Body::Batch(bodies.clone());
         let bytes = batch.encode();
         assert_eq!(bytes.len(), batch.encoded_len());
@@ -780,6 +921,118 @@ mod tests {
         assert_eq!(
             Body::decode(&w.buf, &encoding),
             Err(DecodeError::BadTag { tag: TAG_BATCH })
+        );
+    }
+
+    #[test]
+    fn repair_envelopes_reject_nesting() {
+        let (encoding, bodies) = sample_bodies();
+        let inner = Body::Sealed {
+            seq: 1,
+            ack: 0,
+            inner: Box::new(bodies[0].clone()),
+        }
+        .encode();
+        // A Sealed inside a Repair item is rejected.
+        let mut w = Writer::new();
+        w.u8(TAG_REPAIR);
+        w.u64(0);
+        w.u32(1);
+        w.u64(1);
+        w.u32(inner.len() as u32);
+        w.buf.extend_from_slice(&inner);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::BadTag { tag: TAG_SEALED })
+        );
+        // A Repair inside a Sealed is rejected too.
+        let repair = Body::Repair {
+            ack: 0,
+            items: vec![(1, bodies[0].clone())],
+        }
+        .encode();
+        let mut w = Writer::new();
+        w.u8(TAG_SEALED);
+        w.u64(2);
+        w.u64(0);
+        w.buf.extend_from_slice(&repair);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::BadTag { tag: TAG_REPAIR })
+        );
+    }
+
+    #[test]
+    fn malformed_ranges_are_rejected() {
+        let (encoding, bodies) = sample_bodies();
+        // Nack with lo > hi.
+        let mut w = Writer::new();
+        w.u8(TAG_NACK);
+        w.u64(9);
+        w.u64(7);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::MalformedRanges)
+        );
+        // Sack range adjacent to the cumulative ack (should have been
+        // absorbed into it).
+        let mut w = Writer::new();
+        w.u8(TAG_ACK);
+        w.u64(5);
+        w.u8(1);
+        w.u64(6);
+        w.u64(8);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::MalformedRanges)
+        );
+        // Descending sack ranges.
+        let mut w = Writer::new();
+        w.u8(TAG_ACK);
+        w.u64(0);
+        w.u8(2);
+        w.u64(10);
+        w.u64(12);
+        w.u64(3);
+        w.u64(4);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::MalformedRanges)
+        );
+        // Sack range set over the wire bound.
+        let mut w = Writer::new();
+        w.u8(TAG_ACK);
+        w.u64(0);
+        w.u8((crate::reliable::SACK_MAX_RANGES + 1) as u8);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::LengthOverflow {
+                len: (crate::reliable::SACK_MAX_RANGES + 1) as u32
+            })
+        );
+        // Empty repair.
+        let mut w = Writer::new();
+        w.u8(TAG_REPAIR);
+        w.u64(0);
+        w.u32(0);
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::MalformedRanges)
+        );
+        // Non-ascending repair sequence numbers.
+        let item = bodies[0].encode();
+        let mut w = Writer::new();
+        w.u8(TAG_REPAIR);
+        w.u64(0);
+        w.u32(2);
+        for seq in [4u64, 4] {
+            w.u64(seq);
+            w.u32(item.len() as u32);
+            w.buf.extend_from_slice(&item);
+        }
+        assert_eq!(
+            Body::decode(&w.buf, &encoding),
+            Err(DecodeError::MalformedRanges)
         );
     }
 

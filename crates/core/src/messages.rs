@@ -111,6 +111,35 @@ pub enum Body {
         /// The sender has received every reverse-link sequence number
         /// `<= ack`.
         ack: u64,
+        /// Selective acknowledgment: closed sequence ranges `lo..=hi`
+        /// beyond `ack` that the sender holds out of order (ascending,
+        /// non-overlapping, at most
+        /// [`crate::reliable::SACK_MAX_RANGES`] of them — overflow
+        /// falls back to the cumulative-only contract). Lets the peer
+        /// retire delivered-but-unackable tail messages instead of
+        /// retransmitting them when a gap stalls the cumulative ack.
+        sack: Vec<(u64, u64)>,
+    },
+    /// Gap repair request (recovery mode only): the sender is missing
+    /// reverse-link sequence numbers `lo..=hi` and has already buffered
+    /// something beyond them. Fire-and-forget — a lost nack is covered
+    /// by the peer's retransmit timer, so it is never acked or resent.
+    Nack {
+        /// First missing sequence number.
+        lo: u64,
+        /// Last missing sequence number (`lo <= hi`).
+        hi: u64,
+    },
+    /// Coalesced retransmission (recovery mode only): every payload the
+    /// sender owes one peer in a single envelope, in ascending sequence
+    /// order, with the same piggybacked cumulative ack a [`Body::Sealed`]
+    /// would carry. One wire transmission repairs a whole gap, so
+    /// recovery traffic scales with loss *events*, not lost payloads.
+    Repair {
+        /// Cumulative ack of the reverse link, as in [`Body::Sealed`].
+        ack: u64,
+        /// `(seq, payload)` per retransmitted message, ascending.
+        items: Vec<(u64, Body)>,
     },
     /// Fire-and-forget notice (recovery mode only): the sender's retry
     /// budget against `peer` is exhausted and it now treats that peer as
@@ -138,6 +167,8 @@ impl Body {
             Body::Batch(_) => "batch",
             Body::Sealed { .. } => "sealed",
             Body::Ack { .. } => "ack",
+            Body::Nack { .. } => "nack",
+            Body::Repair { .. } => "repair",
             Body::SuspectDead { .. } => "suspect-dead",
         }
     }
@@ -157,6 +188,8 @@ impl Body {
             | Body::Abort { .. }
             | Body::Batch(_)
             | Body::Ack { .. }
+            | Body::Nack { .. }
+            | Body::Repair { .. }
             | Body::SuspectDead { .. } => None,
         }
     }
@@ -168,6 +201,15 @@ impl Payload for Body {
     /// bytes, not estimates.
     fn size_bytes(&self) -> usize {
         self.encoded_len()
+    }
+
+    /// Pure reverse-path control traffic: standalone acks and nacks.
+    /// The fault matrix's asymmetric ack-path loss knob
+    /// ([`dmw_simnet::FaultPlan::drop_acks_every`]) keys on this, so it
+    /// can drop acknowledgments while data — including [`Body::Sealed`]
+    /// and [`Body::Repair`] payload carriers — keeps flowing.
+    fn is_control(&self) -> bool {
+        matches!(self, Body::Ack { .. } | Body::Nack { .. })
     }
 }
 

@@ -183,6 +183,7 @@ pub struct DmwRunner {
     round_budget: u64,
     patience: u64,
     recovery: Option<RetryPolicy>,
+    classic_recovery: bool,
     engine: Engine,
 }
 
@@ -198,6 +199,7 @@ impl DmwRunner {
             round_budget: PROTOCOL_ROUNDS,
             patience: 1,
             recovery: None,
+            classic_recovery: false,
             engine: Engine::default(),
         }
     }
@@ -284,6 +286,20 @@ impl DmwRunner {
     #[must_use]
     pub fn with_recovery_policy(mut self, policy: RetryPolicy) -> Self {
         self.recovery = Some(policy);
+        self
+    }
+
+    /// Pins the reliable endpoints to the classic v3 recovery
+    /// behaviour — fixed `base_timeout << attempts` backoff, cumulative
+    /// acks only, per-payload retransmission — instead of the default
+    /// adaptive mode (RTT-derived timeouts, selective acks, nack fast
+    /// path, coalesced repair; see [`crate::reliable`]). Both modes
+    /// repair to the identical outcome; this knob exists so the bench
+    /// can measure the recovery-overhead difference
+    /// (`dmw-bench-batch/v4`'s before/after recovery block).
+    #[must_use]
+    pub fn with_classic_recovery(mut self, classic: bool) -> Self {
+        self.classic_recovery = classic;
         self
     }
 
@@ -414,7 +430,14 @@ impl DmwRunner {
         let seed: u64 = rng.gen();
         let mut endpoints: Vec<ReliableEndpoint> = match self.recovery {
             Some(policy) => (0..n)
-                .map(|i| ReliableEndpoint::new(i, n, policy))
+                .map(|i| {
+                    let endpoint = ReliableEndpoint::new(i, n, policy);
+                    if self.classic_recovery {
+                        endpoint.classic()
+                    } else {
+                        endpoint
+                    }
+                })
                 .collect(),
             None => Vec::new(),
         };
@@ -867,7 +890,7 @@ fn run_tick<T: Transport<Body>>(
         // traffic, deduplicates and reorders, and releases the
         // in-sequence protocol messages the agent should see.
         let inbox = match endpoints.get_mut(i) {
-            Some(endpoint) => endpoint.process_inbound(inbox),
+            Some(endpoint) => endpoint.process_inbound(round, inbox),
             None => inbox,
         };
         let outgoing = agent.poll_at(round, inbox);
@@ -917,6 +940,24 @@ fn run_tick<T: Transport<Body>>(
                 }
                 let label = agent.phase().label();
                 for (recipient, body) in endpoint.tick(round, label) {
+                    // Recovery control traffic (acks, nacks, repairs,
+                    // suspicion notices) gets its own `control` row in
+                    // the per-phase tables, so protocol-phase traffic
+                    // stays comparable across bench schema versions.
+                    let copies = match recipient {
+                        Recipient::Unicast(_) => 1,
+                        Recipient::Broadcast => (n - 1) as u64,
+                    };
+                    sched_metrics.incr(
+                        Key::named("phase_messages")
+                            .phase("control")
+                            .agent(i as u32),
+                        copies,
+                    );
+                    sched_metrics.incr(
+                        Key::named("phase_bytes").phase("control").agent(i as u32),
+                        copies * body.size_bytes() as u64,
+                    );
                     match recipient {
                         Recipient::Unicast(to) => transport.send(NodeId(i), to, body),
                         Recipient::Broadcast => transport.broadcast(NodeId(i), body),

@@ -1,7 +1,7 @@
-//! L8 fixture: naked retry/resend loops in a reliability-bearing module.
-//! Never compiled; scanned by tests/fixtures.rs as if it lived at
-//! `crates/core/src/reliable.rs`. The three unbudgeted loops must be
-//! caught; the budget-gated sweep at the bottom must stay clean.
+//! L8 fixture: naked retry/resend/nack loops in a reliability-bearing
+//! module. Never compiled; scanned by tests/fixtures.rs as if it lived
+//! at `crates/core/src/reliable.rs`. The five unbudgeted loops must be
+//! caught; the budget-gated sweeps at the bottom must stay clean.
 
 pub fn spin_until_acked(msg: &Msg) {
     loop {
@@ -21,6 +21,18 @@ pub fn reschedule(pending: &mut [Pending], now: u64, timeout: u64) {
     }
 }
 
+pub fn beg_for_gap(gap: &Gap, closed: &bool) {
+    while !*closed {
+        send_nack(gap.lo, gap.hi);
+    }
+}
+
+pub fn mute_peers(links: &mut [Link]) {
+    for link in links {
+        link.suppress_sends = true;
+    }
+}
+
 pub fn budgeted_sweep(pending: &mut [Pending], now: u64, budget: u32) {
     for p in pending.iter_mut() {
         if p.attempts >= budget {
@@ -28,5 +40,14 @@ pub fn budgeted_sweep(pending: &mut [Pending], now: u64, budget: u32) {
         }
         p.next_retry = now + (4 << p.attempts);
         p.attempts += 1;
+    }
+}
+
+pub fn budgeted_nack_path(pending: &mut [Pending], lo: u64, hi: u64, budget: u32) {
+    for p in pending.iter_mut() {
+        if p.seq >= lo && p.seq <= hi && p.nack_retx < budget {
+            p.nack_retx += 1;
+            p.fast_retx = true;
+        }
     }
 }

@@ -544,17 +544,21 @@ pub fn l7(tokens: &[Token]) -> Vec<Finding> {
     out
 }
 
-/// Identifier fragments that mark a loop as retransmission machinery.
-const RETRY_FRAGMENTS: &[&str] = &["retry", "resend", "retransmit"];
+/// Identifier fragments that mark a loop as retransmission machinery —
+/// including the nack fast path and the retransmit suppressor, which
+/// can livelock or storm just as easily as a plain timer sweep.
+const RETRY_FRAGMENTS: &[&str] = &["retry", "resend", "retransmit", "nack", "suppress"];
 
 /// L8 — no naked retry loops in the reliability-bearing modules
 /// (`agent.rs`, `phases/`, `reliable.rs`): any `loop`/`while`/`for`
 /// whose body touches a retry-family identifier (one containing
-/// `retry`, `resend` or `retransmit`) must also reference a bounded
-/// budget (an identifier containing `budget`) inside that same body.
-/// An unbounded retransmit sweep turns a dead peer into a livelock and
-/// defeats the suspicion/exclusion path, so this is unwaivable — bound
-/// the loop with the `RetryPolicy` budget instead.
+/// `retry`, `resend`, `retransmit`, `nack` or `suppress`) must also
+/// reference a bounded budget (an identifier containing `budget`)
+/// inside that same body. An unbounded retransmit sweep turns a dead
+/// peer into a livelock, an ungated nack path amplifies loss into a
+/// request storm, and both defeat the suspicion/exclusion path — so
+/// this is unwaivable; bound the loop with the `RetryPolicy` budget
+/// instead.
 pub fn l8(tokens: &[Token]) -> Vec<Finding> {
     const LOOP_KEYWORDS: &[&str] = &["loop", "while", "for"];
     let mentions = |range: &[Token], fragments: &[&str]| {
@@ -601,8 +605,9 @@ pub fn l8(tokens: &[Token]) -> Vec<Finding> {
                 "L8",
                 "L8",
                 t.line,
-                "retry/resend loop without a bounded budget — an unbounded \
-                 retransmit sweep livelocks against a dead peer; gate every \
+                "retry/resend/nack loop without a bounded budget — an \
+                 unbounded retransmit sweep livelocks against a dead peer \
+                 and an ungated nack or suppressor path storms; gate every \
                  attempt on the `RetryPolicy` budget"
                     .to_owned(),
             ));

@@ -163,9 +163,10 @@ fn l8_fixture_catches_naked_retry_loops_in_reliability_modules() {
         let findings = lint_fixture(path, source);
         assert_eq!(
             findings.iter().filter(|f| f.rule == "L8").count(),
-            3,
-            "{path}: bare loop + while + retry-bookkeeping for; the \
-             budgeted sweep stays clean: {findings:?}"
+            5,
+            "{path}: bare loop + while + retry-bookkeeping for + nack \
+             begging while + suppressor for; the budgeted sweeps stay \
+             clean: {findings:?}"
         );
     }
     // The scheduler and the transports drive no resends themselves:

@@ -77,6 +77,15 @@ struct Held<M> {
     /// of jitter — exactly the numbering the lockstep transport's
     /// in-order delivery produces.
     seq: u64,
+    /// 1-based position in the control-only enqueue order when the
+    /// payload is control traffic (acks, nacks), `None` for data — the
+    /// key for the asymmetric ack-path drop schedule.
+    control_seq: Option<u64>,
+    /// `true` when the reorder schedule claimed this transmission: its
+    /// due tick carries a one-tick penalty that loss classification must
+    /// see through (the link state that matters is the one the message
+    /// would have met undisplaced).
+    reordered: bool,
     from: NodeId,
     to: NodeId,
     broadcast: bool,
@@ -104,6 +113,8 @@ pub struct DelayTransport<M> {
     profile: DelayProfile,
     shuffle_seed: Option<u64>,
     seq: u64,
+    /// Control-only enqueue counter feeding the ack-path drop schedule.
+    control_seq: u64,
 }
 
 impl<M: Payload + Clone> DelayTransport<M> {
@@ -135,6 +146,7 @@ impl<M: Payload + Clone> DelayTransport<M> {
             profile,
             shuffle_seed: None,
             seq: 0,
+            control_seq: 0,
         }
     }
 
@@ -155,18 +167,25 @@ impl<M: Payload + Clone> DelayTransport<M> {
         self.stats.point_to_point += 1;
         self.stats.bytes += payload.size_bytes() as u64;
         self.seq += 1;
+        let control_seq = payload.is_control().then(|| {
+            self.control_seq += 1;
+            self.control_seq
+        });
+        let reordered = self.faults.is_reordered(self.seq);
         let delay = self.profile.draw(self.seq) + self.faults.link_delay_or_zero(from, to);
         record_enqueue(
             &mut self.metrics,
             from,
             to,
             payload.size_bytes() as u64,
-            1 + delay,
+            1 + delay + u64::from(reordered),
         );
         self.holding.push(Held {
-            due: self.round + 1 + delay,
+            due: self.round + 1 + delay + u64::from(reordered),
             sent_round: self.round,
             seq: self.seq,
+            control_seq,
+            reordered,
             from,
             to,
             broadcast,
@@ -221,8 +240,12 @@ impl<M: Payload + Clone> DelayTransport<M> {
                 msg.from,
                 msg.to,
                 msg.sent_round,
-                msg.due.saturating_sub(1),
+                // The pre-reorder landing tick: both transports attribute
+                // loss as if the message had not been displaced, keeping
+                // crash-boundary classification transport-invariant.
+                msg.due.saturating_sub(1 + u64::from(msg.reordered)),
                 msg.seq,
+                msg.control_seq,
             ) {
                 self.stats.dropped += 1;
                 record_drop(&mut self.metrics, cause);
@@ -705,6 +728,92 @@ mod tests {
         assert_eq!(h.total(), 4, "every enqueue observes its drawn latency");
         // fixed(1): all four messages drew a 2-tick delivery latency.
         assert_eq!(h.counts.get(1), Some(&4));
+    }
+
+    /// A toy payload marking odd values as control traffic, mirroring
+    /// the lockstep transport's ack-path tests.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Frame(u64);
+
+    impl Payload for Frame {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+
+        fn is_control(&self) -> bool {
+            self.0 % 2 == 1
+        }
+    }
+
+    #[test]
+    fn ack_path_and_reorder_schedules_mirror_lockstep() {
+        use crate::network::Network;
+
+        // Both knobs at once on the synchronous profile: the delivered
+        // multisets and per-cause drop counters must match lockstep
+        // exactly, and the reordered message must land a tick late on
+        // both transports.
+        let plan = || FaultPlan::none(2).drop_acks_every(2).reorder_every(5);
+        let traffic: Vec<Frame> = (1..=10).map(Frame).collect();
+
+        let mut lockstep: Network<Frame> = Network::with_faults(2, plan());
+        let mut delayed: DelayTransport<Frame> =
+            DelayTransport::with_faults(2, plan(), DelayProfile::synchronous());
+        for f in &traffic {
+            lockstep.send(NodeId(0), NodeId(1), *f);
+            delayed.send(NodeId(0), NodeId(1), *f);
+        }
+        let collect = |by_tick: &mut Vec<(u64, u64)>, inbox: Vec<Delivered<Frame>>, tick: u64| {
+            for msg in inbox {
+                by_tick.push((tick, msg.payload.0));
+            }
+        };
+        let mut lockstep_seen = Vec::new();
+        let mut delayed_seen = Vec::new();
+        for tick in 1..=3u64 {
+            lockstep.step();
+            delayed.step();
+            collect(&mut lockstep_seen, lockstep.take_inbox(NodeId(1)), tick);
+            collect(&mut delayed_seen, delayed.take_inbox(NodeId(1)), tick);
+        }
+        assert!(lockstep.is_quiescent() && delayed.is_quiescent());
+        assert_eq!(lockstep_seen, delayed_seen, "transports diverged");
+        // Control slots: frames 1,3,5,7,9 → #1..#5; even slots drop
+        // (frames 3, 7). Reorder slots: seqs 5 and 10 → Frames 5 and 10
+        // land a tick late.
+        let expected: Vec<(u64, u64)> = vec![
+            (1, 1),
+            (1, 2),
+            (1, 4),
+            (1, 6),
+            (1, 8),
+            (1, 9),
+            (2, 5),
+            (2, 10),
+        ];
+        assert_eq!(lockstep_seen, expected);
+        assert_eq!(lockstep.metrics().counter_total("drop_ack_path"), 2);
+        assert_eq!(delayed.metrics().counter_total("drop_ack_path"), 2);
+        assert_eq!(lockstep.stats(), delayed.stats());
+    }
+
+    #[test]
+    fn reordered_messages_record_their_penalized_latency() {
+        use dmw_obs::Key;
+
+        let plan = FaultPlan::none(2).reorder_every(3);
+        let mut net: DelayTransport<u64> =
+            DelayTransport::with_faults(2, plan, DelayProfile::synchronous());
+        for k in 0..3 {
+            net.send(NodeId(0), NodeId(1), k);
+        }
+        let h = net
+            .metrics()
+            .histogram(&Key::named("delay_ticks"))
+            .expect("series");
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts.get(0), Some(&2), "two on-time one-tick arrivals");
+        assert_eq!(h.counts.get(1), Some(&1), "one two-tick reordered arrival");
     }
 
     #[test]

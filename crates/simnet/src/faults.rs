@@ -87,6 +87,20 @@ pub struct FaultPlan {
     /// serialized plans.
     #[serde(default)]
     link_flaps: Vec<LinkFlap>,
+    /// Asymmetric ack-path loss: drop every `k`-th *control*
+    /// transmission (acks, nacks) while data traffic is untouched —
+    /// the regime where selective acknowledgment has to earn its keep.
+    /// Keyed on a control-only enqueue counter so the schedule is
+    /// independent of how much data shares the wire. Absent on older
+    /// serialized plans.
+    #[serde(default)]
+    ack_drop_every: Option<u64>,
+    /// Deterministic reordering: every `k`-th transmission (keyed on the
+    /// shared enqueue counter, same as `drop_every`) is held back one
+    /// extra round, arriving *after* messages enqueued later. Absent on
+    /// older serialized plans.
+    #[serde(default)]
+    reorder_every: Option<u64>,
 }
 
 impl FaultPlan {
@@ -114,6 +128,47 @@ impl FaultPlan {
     /// schedule?
     pub fn is_periodically_dropped(&self, counter: u64) -> bool {
         matches!(self.drop_every, Some(k) if counter.is_multiple_of(k))
+    }
+
+    /// Drops every `k`-th *control* transmission (acks, nacks — payloads
+    /// reporting [`crate::Payload::is_control`]) while data keeps
+    /// flowing: the asymmetric regime where a lost acknowledgment, not a
+    /// lost payload, is what forces retransmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn drop_acks_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "ack-drop period must be positive");
+        self.ack_drop_every = Some(k);
+        self
+    }
+
+    /// Is the `counter`-th control transmission (1-based, counting
+    /// control traffic only) lost to the ack-path schedule?
+    pub fn is_ack_path_dropped(&self, counter: u64) -> bool {
+        matches!(self.ack_drop_every, Some(k) if counter.is_multiple_of(k))
+    }
+
+    /// Reorders every `k`-th transmission: it survives loss
+    /// classification as usual but arrives one round later than its
+    /// enqueue slot, behind messages sent after it. Keyed on the same
+    /// shared enqueue counter as [`FaultPlan::drop_every`], so both
+    /// transports displace the same logical messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn reorder_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "reorder period must be positive");
+        self.reorder_every = Some(k);
+        self
+    }
+
+    /// Is the message with enqueue sequence number `seq` (1-based) held
+    /// back by the reorder schedule?
+    pub fn is_reordered(&self, seq: u64) -> bool {
+        matches!(self.reorder_every, Some(k) if seq.is_multiple_of(k))
     }
 
     /// Drops each transmission independently with probability `p`,
@@ -394,7 +449,17 @@ impl FaultPlan {
             }
             out.push_str(&format!("[{},{},{},{}]", f.from, f.to, f.up, f.down));
         }
-        out.push_str("]}");
+        out.push_str("],\"ack_drop_every\":");
+        match self.ack_drop_every {
+            Some(k) => out.push_str(&k.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"reorder_every\":");
+        match self.reorder_every {
+            Some(k) => out.push_str(&k.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 
@@ -451,6 +516,8 @@ impl FaultPlan {
                             });
                         }
                     }
+                    "ack_drop_every" => plan.ack_drop_every = cur.opt_u64()?,
+                    "reorder_every" => plan.reorder_every = cur.opt_u64()?,
                     other => return Err(format!("unknown key {other:?}")),
                 }
                 if cur.eat(b'}') {
@@ -482,6 +549,12 @@ impl FaultPlan {
         }
         if self.drop_every == Some(0) {
             return Err("drop period must be positive".into());
+        }
+        if self.ack_drop_every == Some(0) {
+            return Err("ack-drop period must be positive".into());
+        }
+        if self.reorder_every == Some(0) {
+            return Err("reorder period must be positive".into());
         }
         for (f, t, _) in &self.link_delays {
             node_ok(*f)?;
@@ -878,7 +951,9 @@ mod tests {
             .delay_link(NodeId(1), NodeId(2), 3)
             .drop_prob(0.125, 0xFEED)
             .drop_link_between(NodeId(0), NodeId(1), 2, 6)
-            .flap_link(NodeId(2), NodeId(3), 2, 2);
+            .flap_link(NodeId(2), NodeId(3), 2, 2)
+            .drop_acks_every(4)
+            .reorder_every(9);
         let json = plan.to_json();
         let back = FaultPlan::from_json(&json).expect("deserialize");
         assert_eq!(plan, back, "round trip must be lossless");
@@ -910,6 +985,34 @@ mod tests {
         assert!(!plan.is_probabilistically_dropped(1));
         assert!(!plan.is_transiently_dropped(NodeId(0), NodeId(1), 0));
         assert!(!plan.is_flapped_down(NodeId(0), NodeId(1), 0));
+        assert!(!plan.is_ack_path_dropped(1));
+        assert!(!plan.is_reordered(1));
+    }
+
+    #[test]
+    fn ack_path_and_reorder_schedules_are_periodic() {
+        let plan = FaultPlan::none(2).drop_acks_every(3).reorder_every(2);
+        assert!(!plan.is_ack_path_dropped(1));
+        assert!(!plan.is_ack_path_dropped(2));
+        assert!(plan.is_ack_path_dropped(3));
+        assert!(plan.is_ack_path_dropped(6));
+        assert!(!plan.is_reordered(1));
+        assert!(plan.is_reordered(2));
+        assert!(plan.is_reordered(4));
+        // Orthogonal to the symmetric periodic-drop schedule.
+        assert!(!plan.is_periodically_dropped(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "ack-drop period must be positive")]
+    fn drop_acks_every_zero_panics() {
+        let _ = FaultPlan::none(2).drop_acks_every(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder period must be positive")]
+    fn reorder_every_zero_panics() {
+        let _ = FaultPlan::none(2).reorder_every(0);
     }
 
     #[test]
@@ -940,6 +1043,14 @@ mod tests {
             (
                 "drop probability above 1",
                 r#"{"crashes":[null,null],"drop_prob":[2000000,0]}"#,
+            ),
+            (
+                "zero ack-drop period",
+                r#"{"crashes":[null,null],"ack_drop_every":0}"#,
+            ),
+            (
+                "zero reorder period",
+                r#"{"crashes":[null,null],"reorder_every":0}"#,
             ),
         ] {
             assert!(

@@ -33,6 +33,15 @@ pub enum Recipient {
 pub trait Payload {
     /// Approximate serialized size in bytes.
     fn size_bytes(&self) -> usize;
+
+    /// `true` for pure reverse-path control traffic (acknowledgments,
+    /// gap repair requests). The asymmetric ack-path loss schedule
+    /// ([`FaultPlan::drop_acks_every`]) applies only to transmissions
+    /// that report `true` here, so a plan can drop acks while data
+    /// keeps flowing. Defaults to `false`: plain payloads are data.
+    fn is_control(&self) -> bool {
+        false
+    }
 }
 
 impl Payload for u64 {
@@ -73,6 +82,10 @@ struct InFlight<M> {
     from: NodeId,
     to: NodeId,
     broadcast: bool,
+    /// Stamped from [`Payload::is_control`] at enqueue time, because the
+    /// tombstoned body is gone by the time the ack-path schedule needs
+    /// to know whether this transmission counts as control traffic.
+    control: bool,
     payload: Option<M>,
 }
 
@@ -94,6 +107,9 @@ pub(crate) enum DropCause {
     Transient,
     /// The link's flap schedule was in its dead phase at the send round.
     Flapping,
+    /// The asymmetric ack-path schedule claimed this control
+    /// transmission (data on the same link is untouched).
+    AckPath,
     /// The periodic-drop schedule claimed this transmission.
     Periodic,
     /// The seeded Bernoulli schedule claimed this transmission.
@@ -108,6 +124,7 @@ impl DropCause {
             DropCause::Link => "drop_link",
             DropCause::Transient => "drop_transient",
             DropCause::Flapping => "drop_flapping",
+            DropCause::AckPath => "drop_ack_path",
             DropCause::Periodic => "drop_periodic",
             DropCause::Probabilistic => "drop_probabilistic",
         }
@@ -124,6 +141,11 @@ impl DropCause {
 /// schedules (transient windows, flaps) are evaluated against
 /// `sent_round` for the same reason: a message is lost iff the link was
 /// down when it was *sent*, however long it then spends in flight.
+/// `control_seq` is `Some` with the transmission's 1-based position in
+/// the *control-only* enqueue order when the payload reported
+/// [`Payload::is_control`]; the asymmetric ack-path schedule counts
+/// only those, so it thins acknowledgments at a fixed rate regardless
+/// of how much data shares the wire.
 pub(crate) fn classify_loss(
     faults: &FaultPlan,
     from: NodeId,
@@ -131,6 +153,7 @@ pub(crate) fn classify_loss(
     sent_round: u64,
     recv_round: u64,
     seq: u64,
+    control_seq: Option<u64>,
 ) -> Option<DropCause> {
     if faults.is_crashed(from, sent_round) {
         Some(DropCause::SenderCrashed)
@@ -142,6 +165,8 @@ pub(crate) fn classify_loss(
         Some(DropCause::Transient)
     } else if faults.is_flapped_down(from, to, sent_round) {
         Some(DropCause::Flapping)
+    } else if control_seq.is_some_and(|k| faults.is_ack_path_dropped(k)) {
+        Some(DropCause::AckPath)
     } else if faults.is_periodically_dropped(seq) {
         Some(DropCause::Periodic)
     } else if faults.is_probabilistically_dropped(seq) {
@@ -192,6 +217,11 @@ pub struct LockstepTransport<M> {
     n: usize,
     round: u64,
     pending: Vec<InFlight<M>>,
+    /// Surviving transmissions the deterministic reorder schedule
+    /// ([`FaultPlan::reorder_every`]) held back for one extra round.
+    /// They already consumed their enqueue-order sequence numbers when
+    /// first processed, so re-delivery never re-classifies them.
+    deferred: Vec<InFlight<M>>,
     inboxes: Vec<VecDeque<Delivered<M>>>,
     stats: NetworkStats,
     metrics: MetricsSnapshot,
@@ -201,6 +231,11 @@ pub struct LockstepTransport<M> {
     /// delivery assigns the same sequence numbers an enqueue-time stamp
     /// would — the `DelayTransport` has to stamp at enqueue instead.
     transmissions: u64,
+    /// Running counter of control transmissions only (acks, nacks),
+    /// feeding the asymmetric ack-path drop schedule. Incremented for
+    /// every control enqueue-slot — even ones lost to an earlier cause —
+    /// to match the `DelayTransport`'s enqueue-time stamping.
+    control_transmissions: u64,
 }
 
 /// Historical name of [`LockstepTransport`], kept as an alias: the
@@ -229,12 +264,22 @@ impl<M: Payload + Clone> LockstepTransport<M> {
             n,
             round: 0,
             pending: Vec::new(),
+            deferred: Vec::new(),
             inboxes: (0..n).map(|_| VecDeque::new()).collect(),
             stats: NetworkStats::default(),
             metrics: MetricsSnapshot::default(),
             faults,
             transmissions: 0,
+            control_transmissions: 0,
         }
+    }
+
+    /// The enqueue-order sequence number the *next* enqueued message
+    /// will be assigned at delivery time, so enqueue-time accounting
+    /// (the reorder-aware `delay_ticks` histogram) can consult the
+    /// sequence-keyed schedules before the counter itself advances.
+    fn next_seq(&self) -> u64 {
+        self.transmissions + self.pending.len() as u64 + 1
     }
 
     /// Number of nodes.
@@ -282,12 +327,20 @@ impl<M: Payload + Clone> LockstepTransport<M> {
         assert_ne!(from, to, "self-sends are local state, not messages");
         self.stats.point_to_point += 1;
         self.stats.bytes += payload.size_bytes() as u64;
-        record_enqueue(&mut self.metrics, from, to, payload.size_bytes() as u64, 1);
+        let ticks = 1 + u64::from(self.faults.is_reordered(self.next_seq()));
+        record_enqueue(
+            &mut self.metrics,
+            from,
+            to,
+            payload.size_bytes() as u64,
+            ticks,
+        );
         let doomed = self.faults.is_crashed(from, self.round);
         self.pending.push(InFlight {
             from,
             to,
             broadcast: false,
+            control: payload.is_control(),
             payload: (!doomed).then_some(payload),
         });
     }
@@ -302,23 +355,26 @@ impl<M: Payload + Clone> LockstepTransport<M> {
         assert!(from.0 < self.n, "node out of range");
         self.stats.broadcasts += 1;
         let doomed = self.faults.is_crashed(from, self.round);
+        let control = payload.is_control();
         for to in 0..self.n {
             if to == from.0 {
                 continue;
             }
             self.stats.point_to_point += 1;
             self.stats.bytes += payload.size_bytes() as u64;
+            let ticks = 1 + u64::from(self.faults.is_reordered(self.next_seq()));
             record_enqueue(
                 &mut self.metrics,
                 from,
                 NodeId(to),
                 payload.size_bytes() as u64,
-                1,
+                ticks,
             );
             self.pending.push(InFlight {
                 from,
                 to: NodeId(to),
                 broadcast: true,
+                control,
                 payload: (!doomed).then(|| payload.clone()),
             });
         }
@@ -326,10 +382,30 @@ impl<M: Payload + Clone> LockstepTransport<M> {
 
     /// Delivers all pending traffic and advances to the next round.
     /// Returns the number of messages delivered.
+    ///
+    /// Transmissions the reorder schedule selects survive classification
+    /// but sit out one extra round in `deferred`; each step delivers the
+    /// previous step's deferrals *first*, which is ascending
+    /// enqueue-sequence order — the same order the `DelayTransport`'s
+    /// due-time sort produces for a one-tick reorder penalty.
     pub fn step(&mut self) -> u64 {
         let mut delivered = 0;
+        for msg in std::mem::take(&mut self.deferred) {
+            self.inboxes[msg.to.0].push_back(Delivered {
+                from: msg.from,
+                broadcast: msg.broadcast,
+                payload: msg
+                    .payload
+                    .expect("only surviving transmissions are deferred"),
+            });
+            delivered += 1;
+        }
         for msg in std::mem::take(&mut self.pending) {
             self.transmissions += 1;
+            let control_seq = msg.control.then(|| {
+                self.control_transmissions += 1;
+                self.control_transmissions
+            });
             if let Some(cause) = classify_loss(
                 &self.faults,
                 msg.from,
@@ -337,9 +413,14 @@ impl<M: Payload + Clone> LockstepTransport<M> {
                 self.round,
                 self.round,
                 self.transmissions,
+                control_seq,
             ) {
                 self.stats.dropped += 1;
                 record_drop(&mut self.metrics, cause);
+                continue;
+            }
+            if self.faults.is_reordered(self.transmissions) {
+                self.deferred.push(msg);
                 continue;
             }
             self.inboxes[msg.to.0].push_back(Delivered {
@@ -379,7 +460,9 @@ impl<M: Payload + Clone> LockstepTransport<M> {
     /// `true` when no traffic is pending delivery and every inbox has
     /// been drained — nothing the protocol could still react to.
     pub fn is_quiescent(&self) -> bool {
-        self.pending.is_empty() && self.inboxes.iter().all(VecDeque::is_empty)
+        self.pending.is_empty()
+            && self.deferred.is_empty()
+            && self.inboxes.iter().all(VecDeque::is_empty)
     }
 
     /// The earliest tick at which the network can matter to a scheduler
@@ -396,13 +479,14 @@ impl<M: Payload + Clone> LockstepTransport<M> {
     }
 
     /// Fast-forwards to tick `target` exactly as repeated
-    /// [`LockstepTransport::step`] calls would: at most one real step
-    /// (pending traffic, if any, all delivers on the first one), then a
-    /// constant-time round/statistics jump over the remaining dead air.
+    /// [`LockstepTransport::step`] calls would: real steps while traffic
+    /// is still in flight (at most two — one for pending, one more if
+    /// the reorder schedule deferred something), then a constant-time
+    /// round/statistics jump over the remaining dead air.
     pub fn advance_to(&mut self, target: u64) -> u64 {
         let mut delivered = 0;
-        if !self.pending.is_empty() && self.round < target {
-            delivered = self.step();
+        while (!self.pending.is_empty() || !self.deferred.is_empty()) && self.round < target {
+            delivered += self.step();
         }
         if self.round < target {
             self.stats.rounds += target - self.round;
@@ -597,6 +681,102 @@ mod tests {
         assert_eq!(net.next_due(), Some(1), "undrained inbox is due now");
         net.take_inbox(NodeId(1));
         assert_eq!(net.next_due(), None);
+    }
+
+    /// A toy payload that marks odd values as control traffic, for the
+    /// ack-path tests.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Frame(u64);
+
+    impl Payload for Frame {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+
+        fn is_control(&self) -> bool {
+            self.0 % 2 == 1
+        }
+    }
+
+    #[test]
+    fn ack_path_schedule_drops_control_but_not_data() {
+        let plan = FaultPlan::none(2).drop_acks_every(1);
+        let mut net: Network<Frame> = Network::with_faults(2, plan);
+        net.send(NodeId(0), NodeId(1), Frame(2)); // data
+        net.send(NodeId(0), NodeId(1), Frame(3)); // control: dropped
+        net.send(NodeId(0), NodeId(1), Frame(4)); // data
+        net.step();
+        let payloads: Vec<Frame> = net
+            .take_inbox(NodeId(1))
+            .into_iter()
+            .map(|d| d.payload)
+            .collect();
+        assert_eq!(payloads, vec![Frame(2), Frame(4)]);
+        assert_eq!(net.stats().dropped, 1);
+        assert_eq!(net.metrics().counter_total("drop_ack_path"), 1);
+    }
+
+    #[test]
+    fn ack_path_counter_skips_data_transmissions() {
+        // Every *second* control message drops; data in between must not
+        // advance the control counter.
+        let plan = FaultPlan::none(2).drop_acks_every(2);
+        let mut net: Network<Frame> = Network::with_faults(2, plan);
+        for v in [1, 2, 2, 3, 2, 5] {
+            net.send(NodeId(0), NodeId(1), Frame(v));
+        }
+        net.step();
+        // Control slots: Frame(1)=#1 kept, Frame(3)=#2 dropped,
+        // Frame(5)=#3 kept.
+        let payloads: Vec<u64> = net
+            .take_inbox(NodeId(1))
+            .into_iter()
+            .map(|d| d.payload.0)
+            .collect();
+        assert_eq!(payloads, vec![1, 2, 2, 2, 5]);
+        assert_eq!(net.metrics().counter_total("drop_ack_path"), 1);
+    }
+
+    #[test]
+    fn reorder_defers_selected_messages_one_round() {
+        let plan = FaultPlan::none(3).reorder_every(2);
+        let mut net: Network<u64> = Network::with_faults(3, plan);
+        net.send(NodeId(0), NodeId(1), 10); // seq 1: on time
+        net.send(NodeId(2), NodeId(1), 20); // seq 2: deferred
+        net.send(NodeId(0), NodeId(1), 30); // seq 3: on time
+        assert_eq!(net.step(), 2);
+        let payloads: Vec<u64> = net
+            .take_inbox(NodeId(1))
+            .into_iter()
+            .map(|d| d.payload)
+            .collect();
+        assert_eq!(payloads, vec![10, 30]);
+        assert!(!net.is_quiescent(), "a deferred message is still in flight");
+        assert_eq!(net.step(), 1);
+        let late: Vec<u64> = net
+            .take_inbox(NodeId(1))
+            .into_iter()
+            .map(|d| d.payload)
+            .collect();
+        assert_eq!(late, vec![20]);
+        assert_eq!(net.stats().dropped, 0, "reordering is not loss");
+    }
+
+    #[test]
+    fn advance_to_flushes_deferred_reorder_traffic() {
+        let plan = FaultPlan::none(2).reorder_every(1);
+        let mut stepped: Network<u64> = Network::with_faults(2, plan.clone());
+        let mut jumped: Network<u64> = Network::with_faults(2, plan);
+        for net in [&mut stepped, &mut jumped] {
+            net.send(NodeId(0), NodeId(1), 7);
+        }
+        for _ in 0..4 {
+            stepped.step();
+        }
+        assert_eq!(jumped.advance_to(4), 1);
+        assert_eq!(jumped.round(), stepped.round());
+        assert_eq!(jumped.stats(), stepped.stats());
+        assert_eq!(jumped.take_inbox(NodeId(1)), stepped.take_inbox(NodeId(1)));
     }
 
     #[test]

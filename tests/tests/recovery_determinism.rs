@@ -10,6 +10,7 @@
 
 use dmw::batch::{aggregate_metrics, BatchRunner, TrialSpec};
 use dmw::error::AbortReason;
+use dmw::reliable::RetryPolicy;
 use dmw::runner::{utilities, DmwRunner, RunResult};
 use dmw::Behavior;
 use dmw_mechanism::{AgentId, ExecutionTimes, TaskId};
@@ -105,6 +106,11 @@ fn chaos_outcomes_are_bit_identical_across_widths() {
         reference_aggregate.counter_total("retransmissions") > 0,
         "the corpus must exercise the retransmit path"
     );
+    assert!(
+        reference_aggregate.counter_total("rtt_samples") > 0,
+        "the corpus must feed the adaptive RTT estimators — their \
+         fixed-point state is part of the cross-width determinism claim"
+    );
     for width in &WIDTHS[1..] {
         let results = BatchRunner::with_threads(*width).run_trials(&runner, SEED, &trials);
         for (i, (x, y)) in reference.iter().zip(&results).enumerate() {
@@ -173,6 +179,91 @@ fn lockstep_and_synchronous_delay_agree_under_chaos() {
             "{case}: serialized metrics differ between transports"
         );
     }
+}
+
+#[test]
+fn nack_storm_is_suppressed_under_symmetric_loss() {
+    // 50% symmetric periodic loss: every second transmission (data and
+    // control alike) dies. Gap nacks must stay proportional to loss
+    // events — the per-link watermark may request each gap once — so
+    // the nack volume stays below the ack volume instead of storming,
+    // and the repaired outcome still matches the lossless run exactly.
+    let mut r = rng(SEED ^ 0x57f);
+    let cfg = config(6, 1, &mut r);
+    let bids = random_bids(&cfg, 3, &mut r);
+    let behaviors = vec![Behavior::Suggested; 6];
+    let runner = DmwRunner::new(cfg).with_recovery();
+
+    let baseline = runner
+        .run(&bids, &behaviors, FaultPlan::none(6), &mut rng(SEED + 5))
+        .expect("valid lossless run");
+    assert!(baseline.is_completed());
+    let lossy = runner
+        .run(
+            &bids,
+            &behaviors,
+            FaultPlan::none(6).drop_every(2),
+            &mut rng(SEED + 5),
+        )
+        .expect("valid chaos run");
+    assert!(lossy.is_completed(), "50% loss is repaired, not fatal");
+    assert_eq!(
+        lossy.completed().unwrap(),
+        baseline.completed().unwrap(),
+        "repair is outcome-invariant even at 50% loss"
+    );
+    let nacks = lossy.metrics.counter_total("nacks_sent");
+    let acks = lossy.metrics.counter_total("acks_sent");
+    assert!(nacks > 0, "heavy loss must exercise the nack fast path");
+    assert!(
+        nacks <= acks,
+        "nack storm: {nacks} nacks vs {acks} acks — the watermark must \
+         bound gap requests to one per gap"
+    );
+}
+
+#[test]
+fn suspicion_threshold_sweep_under_adaptive_timeouts() {
+    // The c − 1 / c / c + 1 sweep of the resilience threshold, under an
+    // explicit adaptive retry policy (tight base, deeper budget) rather
+    // than the defaults: RTT-derived timeouts must not change which
+    // side of the threshold a crash count lands on.
+    let policy = RetryPolicy {
+        base_timeout: 8,
+        budget: 4,
+    };
+    let run_with_crashes = |crashed: &[usize]| {
+        let mut r = rng(SEED ^ 0xADA);
+        let cfg = config(6, 2, &mut r);
+        let bids = random_bids(&cfg, 2, &mut r);
+        let mut faults = FaultPlan::none(6);
+        for &node in crashed {
+            faults = faults.crash_at(NodeId(node), 4);
+        }
+        DmwRunner::new(cfg)
+            .with_recovery_policy(policy)
+            .run(&bids, &vec![Behavior::Suggested; 6], faults, &mut r)
+            .expect("valid run")
+    };
+
+    let below = run_with_crashes(&[1]); // c − 1
+    let RunResult::Degraded { excluded, .. } = &below.result else {
+        panic!("c - 1 crashes must degrade, got {:?}", below.result);
+    };
+    assert_eq!(excluded, &vec![1]);
+
+    let at = run_with_crashes(&[1, 4]); // exactly c
+    let RunResult::Degraded { excluded, .. } = &at.result else {
+        panic!("c crashes must still degrade, got {:?}", at.result);
+    };
+    assert_eq!(excluded, &vec![1, 4]);
+
+    let beyond = run_with_crashes(&[1, 2, 4]); // c + 1
+    assert_eq!(
+        beyond.abort_reason(),
+        Some(AbortReason::Unresolvable),
+        "beyond the threshold the abort path is preserved"
+    );
 }
 
 #[test]
